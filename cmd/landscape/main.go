@@ -1,0 +1,79 @@
+// Command landscape generates the synthetic Ethereum contract population
+// and prints the Section 7 findings: growth of proxies over the years,
+// hidden contracts, duplication skew, standard adoption, and upgrade
+// behaviour.
+//
+// Usage:
+//
+//	landscape [-contracts N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/proxion"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "landscape:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	contracts := flag.Int("contracts", 4000, "population size (paper scale: 36M)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	flag.Parse()
+
+	pop := dataset.Generate(dataset.Config{Seed: *seed, Contracts: *contracts})
+	det := proxion.NewDetector(pop.Chain)
+	res := det.AnalyzeAll(pop.Registry)
+
+	for _, t := range []*experiments.Table{
+		experiments.Figure2(pop),
+		experiments.Figure4(pop, res),
+		experiments.Table3(pop, det, res),
+		experiments.Figure5(pop, res),
+		experiments.Table4(res),
+		experiments.Figure6(pop, det, res),
+		experiments.HiddenProxies(pop, res),
+		experiments.RuntimeErrors(pop),
+	} {
+		fmt.Println(t.Render())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeCSV saves one table as <dir>/<id>.csv with a filesystem-safe name.
+func writeCSV(dir string, t *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating %s: %w", dir, err)
+	}
+	name := strings.ToLower(strings.ReplaceAll(t.ID, " ", "_"))
+	name = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '.':
+			return r
+		default:
+			return '-'
+		}
+	}, name)
+	path := filepath.Join(dir, name+".csv")
+	if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+// Command proxion runs the full analysis pipeline over a generated chain
+// snapshot: identify every proxy contract (including hidden ones), locate
+// logic contracts and their history, and report function and storage
+// collisions per pair.
+//
+// Usage:
+//
+//	proxion [-contracts N] [-seed S] [-v] [-collisions-only]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/proxion"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "proxion:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	contracts := flag.Int("contracts", 4000, "population size to generate and analyze")
+	seed := flag.Int64("seed", 1, "generation seed")
+	verbose := flag.Bool("v", false, "print every detected proxy")
+	collisionsOnly := flag.Bool("collisions-only", false, "print only pairs with collisions")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable summary instead of text")
+	flag.Parse()
+
+	fmt.Printf("generating %d-contract chain snapshot (seed %d)...\n", *contracts, *seed)
+	pop := dataset.Generate(dataset.Config{Seed: *seed, Contracts: *contracts})
+	fmt.Printf("chain height %d, %d contracts alive\n", pop.Chain.CurrentBlock(), len(pop.Chain.Contracts()))
+
+	det := proxion.NewDetector(pop.Chain)
+	start := time.Now()
+	res := det.AnalyzeAll(pop.Registry)
+	elapsed := time.Since(start)
+
+	if *jsonOut {
+		out, err := proxion.Summarize(res).MarshalIndentJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+
+	proxies := res.Proxies()
+	perSec := float64(len(res.Reports)) / elapsed.Seconds()
+	fmt.Printf("\nanalyzed %d contracts in %s (%.0f contracts/s)\n",
+		len(res.Reports), elapsed.Round(time.Millisecond), perSec)
+	fmt.Printf("proxies: %d (%.1f%%)\n", len(proxies),
+		100*float64(len(proxies))/float64(len(res.Reports)))
+
+	byStandard := make(map[proxion.Standard]int)
+	var emulationErrs int
+	for _, rep := range res.Reports {
+		if rep.IsProxy {
+			byStandard[rep.Standard]++
+		}
+		if rep.EmulationErr != nil {
+			emulationErrs++
+		}
+	}
+	fmt.Printf("standards: EIP-1167=%d EIP-1822=%d EIP-1967=%d others=%d\n",
+		byStandard[proxion.StandardEIP1167], byStandard[proxion.StandardEIP1822],
+		byStandard[proxion.StandardEIP1967], byStandard[proxion.StandardOther])
+	fmt.Printf("emulation errors: %d\n\n", emulationErrs)
+
+	if *verbose && !*collisionsOnly {
+		for _, rep := range proxies {
+			fmt.Printf("proxy %s -> logic %s (%s, %s)\n  %s\n",
+				rep.Address, rep.Logic, rep.Target, rep.Standard, rep.Reason)
+		}
+		fmt.Println()
+	}
+
+	var funcPairs, storPairs, verified int
+	for _, pa := range res.Pairs {
+		hasFunc := len(pa.Functions) > 0
+		hasStor := len(pa.Storage) > 0
+		if hasFunc {
+			funcPairs++
+		}
+		if hasStor {
+			storPairs++
+		}
+		if pa.ExploitVerified {
+			verified++
+		}
+		if (*verbose || *collisionsOnly) && (hasFunc || hasStor) {
+			fmt.Printf("pair %s / %s:\n", pa.Proxy, pa.Logic)
+			for _, fc := range pa.Functions {
+				label := fmt.Sprintf("selector 0x%x", fc.Selector)
+				if fc.ProxyProto != "" {
+					label += fmt.Sprintf(" (%s vs %s)", fc.ProxyProto, fc.LogicProto)
+				}
+				fmt.Printf("  function collision: %s\n", label)
+			}
+			for _, sc := range pa.Storage {
+				fmt.Printf("  storage collision: slot %s proxy[%d:%d) vs logic[%d:%d) exploitable=%v verified=%v\n",
+					sc.Slot, sc.ProxyOffset, sc.ProxyOffset+sc.ProxySize,
+					sc.LogicOffset, sc.LogicOffset+sc.LogicSize, sc.Exploitable, sc.Verified)
+			}
+		}
+	}
+	fmt.Printf("collision summary: %d pairs with function collisions, %d with storage collisions, %d verified exploits\n",
+		funcPairs, storPairs, verified)
+	return nil
+}

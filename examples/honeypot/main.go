@@ -1,0 +1,84 @@
+// Honeypot: the paper's Listing 1 end-to-end. The logic contract advertises
+// free_ether_withdrawal() — ten free ether to any caller. But the proxy in
+// front of it declares impl_LUsXCWD2AKCc(), whose Keccak selector is the
+// same 0xdf4a3106, so the victim's call never reaches the lure: it executes
+// the proxy's draining body instead. Proxion finds the collision from
+// bytecode alone — the attacker published no source and sent no
+// transactions.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+	"repro/internal/chain"
+	"repro/internal/etypes"
+	"repro/internal/keccak"
+	"repro/internal/proxion"
+	"repro/internal/solc"
+	"repro/internal/u256"
+)
+
+func main() {
+	lureSel := keccak.Selector("free_ether_withdrawal()")
+	trapSel := keccak.Selector("impl_LUsXCWD2AKCc()")
+	fmt.Printf("free_ether_withdrawal() -> 0x%x\n", lureSel)
+	fmt.Printf("impl_LUsXCWD2AKCc()     -> 0x%x (a real Keccak collision)\n\n", trapSel)
+
+	c := chain.New()
+	attacker := etypes.MustAddress("0x0000000000000000000000000000000000000bad")
+	victim := etypes.MustAddress("0x000000000000000000000000000000000000f00d")
+
+	// The lure: a logic contract that really would pay out.
+	logic := &solc.Contract{
+		Name: "Lure",
+		Funcs: []solc.Func{{
+			ABI:  abi.Function{Name: "free_ether_withdrawal"},
+			Body: []solc.Stmt{solc.SendToCaller{Amount: u256.FromUint64(10)}},
+		}},
+	}
+	logicAddr := etypes.MustAddress("0x0000000000000000000000000000000000001001")
+	c.InstallContract(logicAddr, solc.MustCompile(logic))
+
+	// The trap: a proxy whose colliding function shadows the lure. Instead
+	// of paying, it logs the theft (standing in for the USDT transfer).
+	implSlot := etypes.HashFromWord(u256.One())
+	proxy := &solc.Contract{
+		Name: "Trap",
+		Vars: []solc.Var{
+			{Name: "owner", Type: solc.TypeAddress},
+			{Name: "logic", Type: solc.TypeAddress},
+		},
+		Funcs: []solc.Func{{
+			ABI: abi.Function{Name: "impl_LUsXCWD2AKCc"},
+			Body: []solc.Stmt{
+				// The malicious body: returns a marker so the theft is
+				// visible in this demo.
+				solc.ReturnConst{Value: u256.MustHex("0xdead")},
+			},
+		}},
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateStorage, Slot: implSlot},
+	}
+	proxyAddr := etypes.MustAddress("0x0000000000000000000000000000000000001002")
+	c.InstallContract(proxyAddr, solc.MustCompile(proxy))
+	c.SetStorageDirect(proxyAddr, implSlot, etypes.HashFromWord(logicAddr.Word()))
+	_ = attacker
+
+	// The victim calls the advertised lure through the proxy...
+	rc := c.Execute(victim, proxyAddr, abi.EncodeCall(lureSel), 0, u256.Zero())
+	fmt.Printf("victim calls free_ether_withdrawal() via the proxy -> output 0x%x\n", rc.Output)
+	fmt.Println("  ...which executed the proxy's impl_LUsXCWD2AKCc() body, not the lure.")
+
+	// Proxion sees through it using only bytecode.
+	det := proxion.NewDetector(c)
+	rep := det.Check(proxyAddr)
+	fmt.Printf("\nProxion: is proxy = %v, logic = %s\n", rep.IsProxy, rep.Logic)
+	pa := det.AnalyzePair(proxyAddr, rep.Logic, nil) // nil: no source anywhere
+	for _, fc := range pa.Functions {
+		fmt.Printf("function collision detected from bytecode: selector 0x%x\n", fc.Selector)
+	}
+	if len(pa.Functions) == 0 {
+		panic("collision not detected")
+	}
+	fmt.Println("\nno source code, no past transactions — the hidden honeypot is caught.")
+}

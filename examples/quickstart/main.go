@@ -1,0 +1,80 @@
+// Quickstart: deploy an upgradeable proxy and its logic contract on the
+// simulated chain, detect the proxy with the Proxion pipeline, and check
+// the pair for collisions.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+	"repro/internal/chain"
+	"repro/internal/etypes"
+	"repro/internal/proxion"
+	"repro/internal/solc"
+	"repro/internal/u256"
+)
+
+func main() {
+	c := chain.New()
+	deployer := etypes.MustAddress("0x00000000000000000000000000000000000000d0")
+
+	// A logic contract: one stored value with a getter and setter.
+	// The logic mirrors the proxy's layout (owner at slot 0, impl at slot 1)
+	// before declaring its own variables — the discipline that prevents
+	// storage collisions.
+	logic := &solc.Contract{
+		Name: "CounterV1",
+		Vars: []solc.Var{
+			{Name: "owner", Type: solc.TypeAddress},
+			{Name: "impl", Type: solc.TypeAddress},
+			{Name: "count", Type: solc.TypeUint256},
+		},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "count"},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: "count"}}},
+			{ABI: abi.Function{Name: "increment", Params: []string{"uint256"}},
+				Body: []solc.Stmt{solc.AssignArg{Var: "count", Arg: 0}}},
+		},
+	}
+	logicRc := c.Deploy(deployer, solc.CompileInit(solc.MustCompile(logic), nil), 0, u256.Zero())
+	fmt.Println("logic deployed at ", logicRc.ContractAddress)
+
+	// An upgradeable proxy delegating to the address stored in slot 1.
+	implSlot := etypes.HashFromWord(u256.One())
+	proxy := &solc.Contract{
+		Name: "CounterProxy",
+		Vars: []solc.Var{
+			{Name: "owner", Type: solc.TypeAddress},
+			{Name: "impl", Type: solc.TypeAddress},
+		},
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateStorage, Slot: implSlot},
+	}
+	proxyRc := c.Deploy(deployer, solc.CompileInit(solc.MustCompile(proxy), map[etypes.Hash]etypes.Hash{
+		implSlot: etypes.HashFromWord(logicRc.ContractAddress.Word()),
+	}), 0, u256.Zero())
+	fmt.Println("proxy deployed at ", proxyRc.ContractAddress)
+
+	// Use the proxy: the call data is forwarded to the logic, which runs in
+	// the proxy's storage.
+	caller := etypes.MustAddress("0x00000000000000000000000000000000000000a1")
+	set := abi.EncodeCall(abi.SelectorOf("increment(uint256)"), u256.FromUint64(41))
+	if rc := c.Execute(caller, proxyRc.ContractAddress, set, 0, u256.Zero()); !rc.Status {
+		panic(rc.Err)
+	}
+	get := abi.EncodeCall(abi.SelectorOf("count()"))
+	rc := c.Execute(caller, proxyRc.ContractAddress, get, 0, u256.Zero())
+	fmt.Println("count() via proxy =", u256.FromBytes(rc.Output))
+
+	// Detect: the two-step pipeline (opcode filter + EVM emulation with
+	// crafted call data) needs neither source code nor past transactions.
+	det := proxion.NewDetector(c)
+	rep := det.Check(proxyRc.ContractAddress)
+	fmt.Printf("detected proxy: %v (target from %s, standard %s)\n",
+		rep.IsProxy, rep.Target, rep.Standard)
+	fmt.Println("current logic:  ", rep.Logic)
+
+	// Collision analysis for the pair: layouts match here, so it is clean.
+	pa := det.AnalyzePair(rep.Address, rep.Logic, nil)
+	fmt.Printf("function collisions: %d, storage collisions: %d\n",
+		len(pa.Functions), len(pa.Storage))
+}

@@ -1,0 +1,68 @@
+// Upgrade history: a proxy switches logic contracts over the years;
+// Algorithm 1's binary search over the archive recovers every version with
+// a handful of getStorageAt calls instead of querying every block.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/etypes"
+	"repro/internal/proxion"
+	"repro/internal/solc"
+)
+
+func main() {
+	c := chain.New()
+	implSlot := proxion.SlotEIP1967
+
+	proxy := &solc.Contract{
+		Name:     "EIP1967Proxy",
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateStorage, Slot: implSlot},
+	}
+	proxyAddr := etypes.MustAddress("0x0000000000000000000000000000000000003001")
+	c.InstallContract(proxyAddr, solc.MustCompile(proxy))
+
+	// Deploy and activate four logic versions across a million blocks.
+	versions := []uint64{1_000, 250_000, 600_000, 999_000}
+	var logics []etypes.Address
+	for i, height := range versions {
+		c.AdvanceTo(height)
+		logic := &solc.Contract{Name: fmt.Sprintf("LogicV%d", i+1)}
+		addr := etypes.MustAddress(fmt.Sprintf("0x00000000000000000000000000000000000031%02d", i))
+		c.InstallContract(addr, solc.MustCompile(logic))
+		c.SetStorageDirect(proxyAddr, implSlot, etypes.HashFromWord(addr.Word()))
+		logics = append(logics, addr)
+		fmt.Printf("block %7d: upgraded to %s\n", height, addr)
+	}
+	c.AdvanceTo(1_200_000)
+	fmt.Printf("chain head: block %d\n\n", c.CurrentBlock())
+
+	det := proxion.NewDetector(c)
+	rep := det.Check(proxyAddr)
+	fmt.Printf("detected: proxy=%v standard=%s impl slot=%s\n", rep.IsProxy, rep.Standard, rep.ImplSlot)
+
+	// Algorithm 1: recover every logic address ever stored in the slot.
+	c.ResetAPICalls()
+	history := det.LogicHistory(proxyAddr, rep.ImplSlot)
+	calls := c.APICalls()
+	fmt.Printf("\nlogic history (%d versions, %d upgrades):\n", len(history), det.UpgradeCount(proxyAddr, rep.ImplSlot))
+	for _, a := range history {
+		fmt.Println("  ", a)
+	}
+	fmt.Printf("archive calls used: %d (naive scan would need %d)\n", calls, c.CurrentBlock()+1)
+	if calls > 400 {
+		panic("binary search degenerated")
+	}
+	for _, want := range logics {
+		found := false
+		for _, got := range history {
+			if got == want {
+				found = true
+			}
+		}
+		if !found {
+			panic("missing version " + want.Hex())
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package asm provides a small EVM assembler used by the contract generator
+// and by tests to build bytecode from readable programs. It supports labels
+// with two-byte (PUSH2) jump targets, raw byte injection, and automatic
+// sizing of PUSH immediates.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/evm"
+	"repro/internal/u256"
+)
+
+// Program accumulates instructions and resolves labels at assembly time.
+// The zero value is an empty program ready for use.
+type Program struct {
+	items  []item
+	labels map[string]struct{}
+}
+
+type itemKind int
+
+const (
+	kindOp itemKind = iota + 1
+	kindPushImm
+	kindPushLabel
+	kindLabel
+	kindDataLabel
+	kindRaw
+)
+
+type item struct {
+	kind  itemKind
+	op    evm.Op
+	imm   []byte
+	label string
+	raw   []byte
+}
+
+// Op appends a bare opcode.
+func (p *Program) Op(ops ...evm.Op) *Program {
+	for _, op := range ops {
+		p.items = append(p.items, item{kind: kindOp, op: op})
+	}
+	return p
+}
+
+// Push appends the smallest PUSHn carrying the value (PUSH1 for zero, to
+// keep bytecode shapes predictable for the disassembler tests).
+func (p *Program) Push(v u256.Int) *Program {
+	b := v.Bytes()
+	if len(b) == 0 {
+		b = []byte{0}
+	}
+	return p.PushBytes(b)
+}
+
+// PushUint is Push for small constants.
+func (p *Program) PushUint(v uint64) *Program { return p.Push(u256.FromUint64(v)) }
+
+// PushBytes appends a PUSHn with exactly the given immediate bytes
+// (1 to 32 of them). Use this for 4-byte selectors and 20-byte addresses so
+// the emitted opcode is PUSH4/PUSH20 as real compilers produce.
+func (p *Program) PushBytes(b []byte) *Program {
+	if len(b) == 0 || len(b) > 32 {
+		panic(fmt.Sprintf("asm: push immediate must be 1..32 bytes, got %d", len(b)))
+	}
+	imm := make([]byte, len(b))
+	copy(imm, b)
+	p.items = append(p.items, item{kind: kindPushImm, imm: imm})
+	return p
+}
+
+// PushLabel appends a PUSH2 whose immediate is the final byte offset of the
+// named label.
+func (p *Program) PushLabel(name string) *Program {
+	p.items = append(p.items, item{kind: kindPushLabel, label: name})
+	return p
+}
+
+// Label defines a jump target at the current position and emits a JUMPDEST.
+func (p *Program) Label(name string) *Program {
+	if p.labels == nil {
+		p.labels = make(map[string]struct{})
+	}
+	if _, dup := p.labels[name]; dup {
+		panic(fmt.Sprintf("asm: duplicate label %q", name))
+	}
+	p.labels[name] = struct{}{}
+	p.items = append(p.items, item{kind: kindLabel, label: name})
+	return p
+}
+
+// DataLabel defines a label at the current position without emitting a
+// JUMPDEST. Use it to reference embedded data (CODECOPY sources); it is not
+// a valid jump target.
+func (p *Program) DataLabel(name string) *Program {
+	if p.labels == nil {
+		p.labels = make(map[string]struct{})
+	}
+	if _, dup := p.labels[name]; dup {
+		panic(fmt.Sprintf("asm: duplicate label %q", name))
+	}
+	p.labels[name] = struct{}{}
+	p.items = append(p.items, item{kind: kindDataLabel, label: name})
+	return p
+}
+
+// Raw appends raw bytes verbatim (e.g. embedded data, metadata trailers).
+func (p *Program) Raw(b []byte) *Program {
+	raw := make([]byte, len(b))
+	copy(raw, b)
+	p.items = append(p.items, item{kind: kindRaw, raw: raw})
+	return p
+}
+
+// Jump emits PUSH2 label; JUMP.
+func (p *Program) Jump(label string) *Program {
+	return p.PushLabel(label).Op(evm.JUMP)
+}
+
+// JumpI emits PUSH2 label; JUMPI (condition must already be below the
+// target on the stack per EVM operand order: JUMPI pops dest, then cond).
+func (p *Program) JumpI(label string) *Program {
+	return p.PushLabel(label).Op(evm.JUMPI)
+}
+
+// size returns the encoded size of an item.
+func (it item) size() int {
+	switch it.kind {
+	case kindOp:
+		return 1
+	case kindPushImm:
+		return 1 + len(it.imm)
+	case kindPushLabel:
+		return 3 // PUSH2 hi lo
+	case kindLabel:
+		return 1 // JUMPDEST
+	case kindDataLabel:
+		return 0
+	case kindRaw:
+		return len(it.raw)
+	default:
+		panic("asm: unknown item kind")
+	}
+}
+
+// Assemble resolves labels and returns the final bytecode.
+func (p *Program) Assemble() ([]byte, error) {
+	offsets := make(map[string]int)
+	pos := 0
+	for _, it := range p.items {
+		if it.kind == kindLabel || it.kind == kindDataLabel {
+			offsets[it.label] = pos
+		}
+		pos += it.size()
+	}
+	out := make([]byte, 0, pos)
+	for _, it := range p.items {
+		switch it.kind {
+		case kindOp:
+			out = append(out, byte(it.op))
+		case kindPushImm:
+			out = append(out, byte(evm.PUSH1)+byte(len(it.imm)-1))
+			out = append(out, it.imm...)
+		case kindPushLabel:
+			off, ok := offsets[it.label]
+			if !ok {
+				return nil, fmt.Errorf("asm: undefined label %q", it.label)
+			}
+			if off > 0xffff {
+				return nil, fmt.Errorf("asm: label %q offset %d exceeds PUSH2 range", it.label, off)
+			}
+			var buf [2]byte
+			binary.BigEndian.PutUint16(buf[:], uint16(off))
+			out = append(out, byte(evm.PUSH2), buf[0], buf[1])
+		case kindLabel:
+			out = append(out, byte(evm.JUMPDEST))
+		case kindDataLabel:
+			// Marker only; no bytes emitted.
+		case kindRaw:
+			out = append(out, it.raw...)
+		}
+	}
+	return out, nil
+}
+
+// MustAssemble is Assemble that panics on error; for tests and generators
+// whose programs are built from trusted constants.
+func (p *Program) MustAssemble() []byte {
+	code, err := p.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return code
+}

@@ -1,0 +1,88 @@
+package asm_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/evm"
+	"repro/internal/u256"
+)
+
+func TestPushSizesMinimal(t *testing.T) {
+	var p asm.Program
+	p.PushUint(0).PushUint(0xff).PushUint(0x1234).Push(u256.One().Shl(248))
+	code := p.MustAssemble()
+	want := []byte{
+		byte(evm.PUSH1), 0x00,
+		byte(evm.PUSH1), 0xff,
+		byte(evm.PUSH2), 0x12, 0x34,
+		byte(evm.PUSH32),
+	}
+	for i, b := range want {
+		if code[i] != b {
+			t.Fatalf("byte %d = %02x, want %02x (code %x)", i, code[i], b, code)
+		}
+	}
+	if len(code) != len(want)+32 {
+		t.Errorf("length = %d", len(code))
+	}
+}
+
+func TestPushBytesExactWidth(t *testing.T) {
+	var p asm.Program
+	p.PushBytes([]byte{0x00, 0x00, 0x00, 0x01}) // must stay PUSH4
+	code := p.MustAssemble()
+	if code[0] != byte(evm.PUSH4) {
+		t.Errorf("opcode = %02x, want PUSH4", code[0])
+	}
+}
+
+func TestLabelsResolve(t *testing.T) {
+	var p asm.Program
+	p.Jump("end").Op(evm.INVALID).Label("end").Op(evm.STOP)
+	code := p.MustAssemble()
+	// Layout: PUSH2 hi lo JUMP INVALID JUMPDEST STOP
+	dest := int(code[1])<<8 | int(code[2])
+	if evm.Op(code[dest]) != evm.JUMPDEST {
+		t.Errorf("jump target %d is %02x, not JUMPDEST", dest, code[dest])
+	}
+}
+
+func TestUndefinedLabelFails(t *testing.T) {
+	var p asm.Program
+	p.Jump("nowhere")
+	if _, err := p.Assemble(); err == nil {
+		t.Error("undefined label should fail")
+	}
+}
+
+func TestDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate label should panic")
+		}
+	}()
+	var p asm.Program
+	p.Label("x").Label("x")
+}
+
+func TestDataLabelEmitsNoBytes(t *testing.T) {
+	var p asm.Program
+	p.PushLabel("data").Op(evm.POP).DataLabel("data").Raw([]byte{0xaa, 0xbb})
+	code := p.MustAssemble()
+	// PUSH2 hi lo POP, then data begins immediately (no JUMPDEST).
+	dataOff := int(code[1])<<8 | int(code[2])
+	if code[dataOff] != 0xaa {
+		t.Errorf("data label points at %02x, want 0xaa", code[dataOff])
+	}
+}
+
+func TestPushBytesBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized push should panic")
+		}
+	}()
+	var p asm.Program
+	p.PushBytes(make([]byte, 33))
+}

@@ -1,0 +1,369 @@
+// Package chain implements the simulated Ethereum execution and archive
+// node that the reproduction runs against: accounts with code, balances and
+// nonces, per-slot storage *history* addressable by block height (the
+// getStorageAt archive API Proxion's Algorithm 1 binary-searches over),
+// block progression, and transaction execution on the EVM with call tracing
+// (the data source for transaction-history-based baselines like CRUSH).
+package chain
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/etypes"
+	"repro/internal/u256"
+)
+
+// BlockHeader is the minimal per-block record the archive keeps.
+type BlockHeader struct {
+	Number uint64
+	Time   uint64
+	Hash   etypes.Hash
+}
+
+// storageVersion is one historical write to a slot.
+type storageVersion struct {
+	block uint64
+	value etypes.Hash
+}
+
+// account is the full record for one address.
+type account struct {
+	code    []byte
+	balance u256.Int
+	nonce   uint64
+	storage map[etypes.Hash]etypes.Hash
+	// history holds every committed write per slot, in block order.
+	history map[etypes.Hash][]storageVersion
+	// createdAt is the block the account was deployed in.
+	createdAt uint64
+	destroyed bool
+}
+
+// DelegateEvent records one DELEGATECALL observed while executing a
+// transaction: the proxy (storage context) and the logic target. This is
+// the trace data transaction-history tools mine.
+type DelegateEvent struct {
+	Proxy etypes.Address
+	Logic etypes.Address
+	Block uint64
+	// InFallback is unknown to trace-based tools; they see only that a
+	// delegatecall happened, which is the root of their library-call
+	// false positives.
+}
+
+// Config identifies the network a Chain simulates. The proxy pattern and
+// its EIPs are shared across every EVM chain (Section 8.2 lists Arbitrum,
+// Avalanche, BSC, Celo, Fantom, Optimism, Polygon as analysis targets), so
+// the only parameters that matter to the analyzer are the chain id exposed
+// by the CHAINID opcode and the block cadence.
+type Config struct {
+	// Name is a human-readable network label, e.g. "ethereum".
+	Name string
+	// ChainID is the EIP-155 identifier (1 for Ethereum mainnet).
+	ChainID uint64
+	// BlockInterval is the seconds between blocks (12 for mainnet).
+	BlockInterval uint64
+	// GenesisTime is the timestamp of block 0.
+	GenesisTime uint64
+}
+
+// MainnetConfig is the default Ethereum configuration.
+func MainnetConfig() Config {
+	return Config{
+		Name:          "ethereum",
+		ChainID:       1,
+		BlockInterval: 12,
+		GenesisTime:   1_438_269_973,
+	}
+}
+
+// Chain is the simulated node. Writes (deployments, transactions) are not
+// safe for concurrent use; once populated, read APIs may be used from
+// multiple goroutines, except that the getStorageAt call counter is the
+// only mutable read-side state and is atomic.
+type Chain struct {
+	cfg      Config
+	accounts map[etypes.Address]*account
+	blocks   []BlockHeader
+
+	journal []func()
+
+	// txCount tracks external+internal transactions touching an address.
+	txCount map[etypes.Address]int
+	// txSelectors records the 4-byte selectors ever sent to an address in
+	// external transactions — the raw material for the diamond-detection
+	// extension (Section 8.2: extract registered functions from past
+	// transactions and use them to generate call data).
+	txSelectors map[etypes.Address]map[[4]byte]struct{}
+	// delegateEvents are all observed DELEGATECALLs across transactions.
+	delegateEvents []DelegateEvent
+
+	logs []Log
+
+	apiCalls atomic.Int64
+}
+
+// Log is an emitted event record.
+type Log struct {
+	Address etypes.Address
+	Topics  []etypes.Hash
+	Data    []byte
+	Block   uint64
+}
+
+// New creates a mainnet-configured chain with only the genesis block.
+func New() *Chain { return NewWithConfig(MainnetConfig()) }
+
+// NewWithConfig creates a chain for an arbitrary EVM network.
+func NewWithConfig(cfg Config) *Chain {
+	if cfg.BlockInterval == 0 {
+		cfg.BlockInterval = 12
+	}
+	c := &Chain{
+		cfg:         cfg,
+		accounts:    make(map[etypes.Address]*account),
+		txCount:     make(map[etypes.Address]int),
+		txSelectors: make(map[etypes.Address]map[[4]byte]struct{}),
+	}
+	c.blocks = append(c.blocks, c.makeHeader(0))
+	return c
+}
+
+// Config returns the chain's network configuration.
+func (c *Chain) Config() Config { return c.cfg }
+
+func (c *Chain) makeHeader(number uint64) BlockHeader {
+	var numBuf [8]byte
+	for i := 0; i < 8; i++ {
+		numBuf[7-i] = byte(number >> (8 * i))
+	}
+	return BlockHeader{
+		Number: number,
+		Time:   c.cfg.GenesisTime + number*c.cfg.BlockInterval,
+		Hash:   etypes.Keccak(numBuf[:]),
+	}
+}
+
+// CurrentBlock returns the height of the latest block.
+func (c *Chain) CurrentBlock() uint64 { return c.blocks[len(c.blocks)-1].Number }
+
+// LatestHeader returns the latest block header.
+func (c *Chain) LatestHeader() BlockHeader { return c.blocks[len(c.blocks)-1] }
+
+// HeaderByNumber returns the header at the given height.
+func (c *Chain) HeaderByNumber(n uint64) (BlockHeader, error) {
+	if n >= uint64(len(c.blocks)) {
+		return BlockHeader{}, fmt.Errorf("chain: no block %d (head %d)", n, c.CurrentBlock())
+	}
+	return c.blocks[n], nil
+}
+
+// AdvanceBlocks appends n empty blocks.
+func (c *Chain) AdvanceBlocks(n uint64) {
+	next := c.CurrentBlock() + 1
+	for i := uint64(0); i < n; i++ {
+		c.blocks = append(c.blocks, c.makeHeader(next+i))
+	}
+}
+
+// AdvanceTo fast-forwards the chain to the given height.
+func (c *Chain) AdvanceTo(height uint64) {
+	if height > c.CurrentBlock() {
+		c.AdvanceBlocks(height - c.CurrentBlock())
+	}
+}
+
+func (c *Chain) getOrCreate(addr etypes.Address) *account {
+	acc, ok := c.accounts[addr]
+	if !ok {
+		acc = &account{
+			storage:   make(map[etypes.Hash]etypes.Hash),
+			history:   make(map[etypes.Hash][]storageVersion),
+			createdAt: c.CurrentBlock(),
+		}
+		c.accounts[addr] = acc
+	}
+	return acc
+}
+
+// InstallContract places runtime bytecode at addr directly, bypassing the
+// EVM deployment path. The dataset generator uses this to populate large
+// contract populations cheaply; createdAt is the current block.
+func (c *Chain) InstallContract(addr etypes.Address, code []byte) {
+	acc := c.getOrCreate(addr)
+	acc.code = code
+	acc.createdAt = c.CurrentBlock()
+	acc.nonce = 1
+}
+
+// SetStorageDirect writes a slot as if by a committed transaction in the
+// current block, recording history.
+func (c *Chain) SetStorageDirect(addr etypes.Address, slot, value etypes.Hash) {
+	acc := c.getOrCreate(addr)
+	c.writeStorage(acc, slot, value, false)
+}
+
+// writeStorage updates current state and history; when journaled, the
+// change is registered for rollback.
+func (c *Chain) writeStorage(acc *account, slot, value etypes.Hash, journaled bool) {
+	block := c.CurrentBlock()
+	prev := acc.storage[slot]
+	hist := acc.history[slot]
+	prevHistLen := len(hist)
+	var replacedLast *storageVersion
+	if n := len(hist); n > 0 && hist[n-1].block == block {
+		// Same-block overwrite: the archive records the end-of-block value.
+		last := hist[n-1]
+		replacedLast = &last
+		hist[n-1].value = value
+	} else {
+		hist = append(hist, storageVersion{block: block, value: value})
+	}
+	acc.history[slot] = hist
+	acc.storage[slot] = value
+	if journaled {
+		c.journal = append(c.journal, func() {
+			acc.storage[slot] = prev
+			if replacedLast != nil {
+				acc.history[slot][prevHistLen-1] = *replacedLast
+			} else {
+				acc.history[slot] = acc.history[slot][:prevHistLen]
+			}
+		})
+	}
+}
+
+// Fund credits addr with amount wei.
+func (c *Chain) Fund(addr etypes.Address, amount u256.Int) {
+	acc := c.getOrCreate(addr)
+	acc.balance = acc.balance.Add(amount)
+}
+
+// Code returns the runtime bytecode at addr.
+func (c *Chain) Code(addr etypes.Address) []byte {
+	if acc, ok := c.accounts[addr]; ok && !acc.destroyed {
+		return acc.code
+	}
+	return nil
+}
+
+// CreatedAt returns the deployment block of addr.
+func (c *Chain) CreatedAt(addr etypes.Address) uint64 {
+	if acc, ok := c.accounts[addr]; ok {
+		return acc.createdAt
+	}
+	return 0
+}
+
+// IsDestroyed reports whether the contract self-destructed.
+func (c *Chain) IsDestroyed(addr etypes.Address) bool {
+	acc, ok := c.accounts[addr]
+	return ok && acc.destroyed
+}
+
+// Contracts returns every address holding code (alive contracts), sorted
+// for determinism.
+func (c *Chain) Contracts() []etypes.Address {
+	var out []etypes.Address
+	for addr, acc := range c.accounts {
+		if len(acc.code) > 0 && !acc.destroyed {
+			out = append(out, addr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// GetStorageAt is the archive API: the value of a slot as of the end of the
+// given block. Every call increments the API-call counter that the
+// Algorithm 1 efficiency experiment reports on.
+func (c *Chain) GetStorageAt(addr etypes.Address, slot etypes.Hash, block uint64) etypes.Hash {
+	c.apiCalls.Add(1)
+	acc, ok := c.accounts[addr]
+	if !ok {
+		return etypes.Hash{}
+	}
+	hist := acc.history[slot]
+	// Find the last version with version.block <= block.
+	idx := sort.Search(len(hist), func(i int) bool { return hist[i].block > block })
+	if idx == 0 {
+		return etypes.Hash{}
+	}
+	return hist[idx-1].value
+}
+
+// APICalls returns the number of GetStorageAt calls since the last reset.
+func (c *Chain) APICalls() int64 { return c.apiCalls.Load() }
+
+// ResetAPICalls zeroes the GetStorageAt counter.
+func (c *Chain) ResetAPICalls() { c.apiCalls.Store(0) }
+
+// TxCount returns how many transactions (external or internal) have touched
+// addr — the "has past transactions" signal trace-based tools depend on.
+func (c *Chain) TxCount(addr etypes.Address) int { return c.txCount[addr] }
+
+// TxSelectors returns the distinct 4-byte selectors observed in external
+// transactions to addr, in deterministic order.
+func (c *Chain) TxSelectors(addr etypes.Address) [][4]byte {
+	set := c.txSelectors[addr]
+	out := make([][4]byte, 0, len(set))
+	for sel := range set {
+		out = append(out, sel)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := 0; k < 4; k++ {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// recordTxSelector notes the selector of an external transaction's input.
+func (c *Chain) recordTxSelector(addr etypes.Address, input []byte) {
+	if len(input) < 4 {
+		return
+	}
+	var sel [4]byte
+	copy(sel[:], input)
+	set := c.txSelectors[addr]
+	if set == nil {
+		set = make(map[[4]byte]struct{})
+		c.txSelectors[addr] = set
+	}
+	set[sel] = struct{}{}
+}
+
+// DelegateEvents returns every DELEGATECALL observed in executed
+// transactions, in order.
+func (c *Chain) DelegateEvents() []DelegateEvent { return c.delegateEvents }
+
+// Logs returns all emitted logs.
+func (c *Chain) Logs() []Log { return c.logs }
+
+// LogsInRange returns logs emitted in blocks [from, to], optionally
+// filtered by emitting address (the eth_getLogs shape).
+func (c *Chain) LogsInRange(from, to uint64, addr *etypes.Address) []Log {
+	var out []Log
+	for _, l := range c.logs {
+		if l.Block < from || l.Block > to {
+			continue
+		}
+		if addr != nil && l.Address != *addr {
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}

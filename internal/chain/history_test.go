@@ -1,0 +1,147 @@
+package chain_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chain"
+	"repro/internal/etypes"
+	"repro/internal/u256"
+)
+
+// writeSchedule is a random sequence of (blockGap, slot, value) writes used
+// to cross-check the archive against a naive reference model.
+type writeSchedule struct {
+	writes []schedWrite
+}
+
+type schedWrite struct {
+	gap   uint64 // blocks to advance before the write (0 = same block)
+	slot  uint64
+	value uint64
+}
+
+func genSchedule(r *rand.Rand) writeSchedule {
+	n := 1 + r.Intn(40)
+	ws := make([]schedWrite, n)
+	for i := range ws {
+		ws[i] = schedWrite{
+			gap:   uint64(r.Intn(5)),
+			slot:  uint64(r.Intn(4)),
+			value: uint64(1 + r.Intn(1000)),
+		}
+	}
+	return writeSchedule{writes: ws}
+}
+
+var schedCfg = &quick.Config{
+	MaxCount: 120,
+	Values: func(args []reflect.Value, r *rand.Rand) {
+		for i := range args {
+			args[i] = reflect.ValueOf(genSchedule(r))
+		}
+	},
+}
+
+// TestPropertyArchiveMatchesReferenceModel: for any write schedule, the
+// archive's GetStorageAt at every height equals a naive replay model.
+func TestPropertyArchiveMatchesReferenceModel(t *testing.T) {
+	addr := etypes.MustAddress("0x000000000000000000000000000000000000ab01")
+	f := func(s writeSchedule) bool {
+		c := chain.New()
+		c.InstallContract(addr, []byte{0x00})
+
+		// Reference: value of each slot at the end of each block.
+		type slotVal map[uint64]uint64
+		ref := []slotVal{{}} // block 0 state
+		cur := slotVal{}
+
+		for _, w := range s.writes {
+			for g := uint64(0); g < w.gap; g++ {
+				c.AdvanceBlocks(1)
+				snapshot := slotVal{}
+				for k, v := range cur {
+					snapshot[k] = v
+				}
+				ref = append(ref, snapshot)
+			}
+			c.SetStorageDirect(addr,
+				etypes.HashFromWord(u256.FromUint64(w.slot)),
+				etypes.HashFromWord(u256.FromUint64(w.value)))
+			cur[w.slot] = w.value
+			// The write lands in the current block: update the last entry.
+			snapshot := slotVal{}
+			for k, v := range cur {
+				snapshot[k] = v
+			}
+			ref[len(ref)-1] = snapshot
+		}
+
+		for h := uint64(0); h < uint64(len(ref)); h++ {
+			for slot := uint64(0); slot < 4; slot++ {
+				got := c.GetStorageAt(addr, etypes.HashFromWord(u256.FromUint64(slot)), h).Word().Uint64()
+				want := ref[h][slot]
+				if got != want {
+					t.Logf("height %d slot %d: archive %d, reference %d", h, slot, got, want)
+					return false
+				}
+			}
+		}
+		// Head state matches the final reference entry.
+		for slot := uint64(0); slot < 4; slot++ {
+			got := c.GetState(addr, etypes.HashFromWord(u256.FromUint64(slot))).Word().Uint64()
+			if got != cur[slot] {
+				t.Logf("head slot %d: %d vs %d", slot, got, cur[slot])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, schedCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSameBlockOverwriteKeepsLastValue: several writes in one block must
+// archive only the final value, per end-of-block semantics.
+func TestSameBlockOverwriteKeepsLastValue(t *testing.T) {
+	addr := etypes.MustAddress("0x000000000000000000000000000000000000ab02")
+	c := chain.New()
+	c.InstallContract(addr, []byte{0x00})
+	c.AdvanceBlocks(5)
+	slot := etypes.Hash{}
+	for v := uint64(1); v <= 3; v++ {
+		c.SetStorageDirect(addr, slot, etypes.HashFromWord(u256.FromUint64(v)))
+	}
+	if got := c.GetStorageAt(addr, slot, 5).Word(); got.Uint64() != 3 {
+		t.Errorf("end-of-block value = %s, want 3", got)
+	}
+	if got := c.GetStorageAt(addr, slot, 4); got != (etypes.Hash{}) {
+		t.Errorf("previous block = %s, want zero", got)
+	}
+}
+
+func TestTxSelectorsRecorded(t *testing.T) {
+	addr := etypes.MustAddress("0x000000000000000000000000000000000000ab03")
+	sender := etypes.MustAddress("0x000000000000000000000000000000000000ab04")
+	c := chain.New()
+	c.InstallContract(addr, []byte{0x00})
+
+	c.Execute(sender, addr, []byte{1, 2, 3, 4, 9, 9}, 0, u256.Zero())
+	c.Execute(sender, addr, []byte{1, 2, 3, 4}, 0, u256.Zero()) // duplicate selector
+	c.Execute(sender, addr, []byte{5, 6, 7, 8}, 0, u256.Zero())
+	c.Execute(sender, addr, []byte{1, 2}, 0, u256.Zero()) // too short: ignored
+
+	sels := c.TxSelectors(addr)
+	if len(sels) != 2 {
+		t.Fatalf("selectors = %d, want 2: %x", len(sels), sels)
+	}
+	if sels[0] != [4]byte{1, 2, 3, 4} || sels[1] != [4]byte{5, 6, 7, 8} {
+		t.Errorf("selectors = %x (must be sorted, deduped)", sels)
+	}
+	if got := c.TxSelectors(sender); len(got) != 0 {
+		t.Errorf("sender has selectors: %x", got)
+	}
+}

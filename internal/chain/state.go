@@ -1,0 +1,110 @@
+package chain
+
+import (
+	"repro/internal/etypes"
+	"repro/internal/evm"
+	"repro/internal/u256"
+)
+
+// Compile-time check: Chain is a usable EVM state backend.
+var _ evm.StateDB = (*Chain)(nil)
+
+// Exists reports whether an account record exists.
+func (c *Chain) Exists(addr etypes.Address) bool {
+	_, ok := c.accounts[addr]
+	return ok
+}
+
+// GetCode implements evm.StateDB.
+func (c *Chain) GetCode(addr etypes.Address) []byte { return c.Code(addr) }
+
+// GetCodeHash implements evm.StateDB.
+func (c *Chain) GetCodeHash(addr etypes.Address) etypes.Hash {
+	return etypes.Keccak(c.Code(addr))
+}
+
+// GetBalance implements evm.StateDB.
+func (c *Chain) GetBalance(addr etypes.Address) u256.Int {
+	if acc, ok := c.accounts[addr]; ok {
+		return acc.balance
+	}
+	return u256.Zero()
+}
+
+// Transfer implements evm.StateDB with journaling.
+func (c *Chain) Transfer(from, to etypes.Address, value u256.Int) {
+	src := c.getOrCreate(from)
+	dst := c.getOrCreate(to)
+	ps, pd := src.balance, dst.balance
+	c.journal = append(c.journal, func() { src.balance, dst.balance = ps, pd })
+	src.balance = ps.Sub(value)
+	dst.balance = pd.Add(value)
+}
+
+// GetState implements evm.StateDB.
+func (c *Chain) GetState(addr etypes.Address, key etypes.Hash) etypes.Hash {
+	if acc, ok := c.accounts[addr]; ok {
+		return acc.storage[key]
+	}
+	return etypes.Hash{}
+}
+
+// SetState implements evm.StateDB; writes are journaled and recorded in the
+// archive history at the current block.
+func (c *Chain) SetState(addr etypes.Address, key, value etypes.Hash) {
+	c.writeStorage(c.getOrCreate(addr), key, value, true)
+}
+
+// GetNonce implements evm.StateDB.
+func (c *Chain) GetNonce(addr etypes.Address) uint64 {
+	if acc, ok := c.accounts[addr]; ok {
+		return acc.nonce
+	}
+	return 0
+}
+
+// SetNonce implements evm.StateDB with journaling.
+func (c *Chain) SetNonce(addr etypes.Address, nonce uint64) {
+	acc := c.getOrCreate(addr)
+	prev := acc.nonce
+	c.journal = append(c.journal, func() { acc.nonce = prev })
+	acc.nonce = nonce
+}
+
+// CreateAccount implements evm.StateDB.
+func (c *Chain) CreateAccount(addr etypes.Address) { c.getOrCreate(addr) }
+
+// SetCode implements evm.StateDB with journaling.
+func (c *Chain) SetCode(addr etypes.Address, code []byte) {
+	acc := c.getOrCreate(addr)
+	prev := acc.code
+	prevBlock := acc.createdAt
+	c.journal = append(c.journal, func() { acc.code, acc.createdAt = prev, prevBlock })
+	acc.code = code
+	acc.createdAt = c.CurrentBlock()
+}
+
+// SelfDestruct implements evm.StateDB.
+func (c *Chain) SelfDestruct(addr, beneficiary etypes.Address) {
+	acc := c.getOrCreate(addr)
+	c.Transfer(addr, beneficiary, acc.balance)
+	prev := acc.destroyed
+	c.journal = append(c.journal, func() { acc.destroyed = prev })
+	acc.destroyed = true
+}
+
+// Snapshot implements evm.StateDB.
+func (c *Chain) Snapshot() int { return len(c.journal) }
+
+// RevertToSnapshot implements evm.StateDB.
+func (c *Chain) RevertToSnapshot(rev int) {
+	for len(c.journal) > rev {
+		c.journal[len(c.journal)-1]()
+		c.journal = c.journal[:len(c.journal)-1]
+	}
+}
+
+// AddLog implements evm.StateDB.
+func (c *Chain) AddLog(addr etypes.Address, topics []etypes.Hash, data []byte) {
+	c.logs = append(c.logs, Log{Address: addr, Topics: topics, Data: data, Block: c.CurrentBlock()})
+}

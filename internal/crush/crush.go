@@ -1,0 +1,93 @@
+// Package crush reimplements the CRUSH baseline (Ruaro et al., NDSS 2024)
+// as the paper characterizes it: proxy/logic pairs are mined from
+// historical transaction traces (DELEGATECALL instructions observed in past
+// executions), and storage collisions are detected with slicing + symbolic
+// width inference and validated dynamically. Its two structural limitations
+// drive the paper's comparison: contracts without past transactions are
+// invisible to it, and every delegatecaller — including library callers —
+// counts as a proxy (Sections 3.1 and 6.2).
+package crush
+
+import (
+	"sort"
+
+	"repro/internal/chain"
+	"repro/internal/etypes"
+	"repro/internal/proxion"
+)
+
+// Pair is a proxy/logic relationship mined from transaction history.
+type Pair struct {
+	Proxy etypes.Address
+	Logic etypes.Address
+}
+
+// Tool is a CRUSH instance bound to a chain's transaction archive.
+type Tool struct {
+	chain    *chain.Chain
+	detector *proxion.Detector // shared collision engine (the paper reuses it too)
+}
+
+// New returns a CRUSH baseline over the chain.
+func New(c *chain.Chain) *Tool {
+	return &Tool{chain: c, detector: proxion.NewDetector(c)}
+}
+
+// IdentifyProxies mines the chain's transaction traces: every contract
+// observed initiating a DELEGATECALL is classified as a proxy, paired with
+// every logic target it was seen delegating to. Library callers are
+// included — CRUSH cannot tell forwarding from constructed call data in a
+// trace — and contracts that never transacted are absent.
+func (t *Tool) IdentifyProxies() []Pair {
+	seen := make(map[Pair]struct{})
+	var out []Pair
+	for _, ev := range t.chain.DelegateEvents() {
+		p := Pair{Proxy: ev.Proxy, Logic: ev.Logic}
+		if _, dup := seen[p]; !dup {
+			seen[p] = struct{}{}
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Proxy != out[j].Proxy {
+			return lessAddr(out[i].Proxy, out[j].Proxy)
+		}
+		return lessAddr(out[i].Logic, out[j].Logic)
+	})
+	return out
+}
+
+// IsProxy reports whether CRUSH's trace mining would classify addr as a
+// proxy: it initiated at least one DELEGATECALL in a recorded transaction.
+func (t *Tool) IsProxy(addr etypes.Address) bool {
+	for _, ev := range t.chain.DelegateEvents() {
+		if ev.Proxy == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// StorageCollisions runs the slicing + symbolic analysis on one pair and
+// dynamically verifies exploitability, exactly the engine Proxion borrows
+// (Section 5.2). CRUSH's accuracy gap comes from *which* pairs it feeds in,
+// not from the engine.
+func (t *Tool) StorageCollisions(proxy, logic etypes.Address) ([]proxion.StorageCollision, bool) {
+	proxyAcc := proxion.ExtractStorageAccesses(t.chain.Code(proxy))
+	logicAcc := proxion.ExtractStorageAccesses(t.chain.Code(logic))
+	cols := proxion.StorageCollisions(proxyAcc, logicAcc)
+	verified := false
+	if len(cols) > 0 {
+		verified = t.detector.VerifyStorageExploit(proxy, logic, cols)
+	}
+	return cols, verified
+}
+
+func lessAddr(a, b etypes.Address) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

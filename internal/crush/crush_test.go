@@ -1,0 +1,92 @@
+package crush_test
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/chain"
+	"repro/internal/crush"
+	"repro/internal/etypes"
+	"repro/internal/solc"
+	"repro/internal/u256"
+)
+
+var (
+	proxyAt = etypes.MustAddress("0x0000000000000000000000000000000000008901")
+	logicAt = etypes.MustAddress("0x0000000000000000000000000000000000008902")
+	libAt   = etypes.MustAddress("0x0000000000000000000000000000000000008903")
+	userAt  = etypes.MustAddress("0x0000000000000000000000000000000000008904")
+	sender  = etypes.MustAddress("0x0000000000000000000000000000000000008905")
+)
+
+// buildChain deploys a real proxy pair (with a tx) and a library caller
+// (with a tx), plus a transaction-less proxy CRUSH cannot see.
+func buildChain(t *testing.T) (*chain.Chain, etypes.Address) {
+	t.Helper()
+	c := chain.New()
+	implSlot := etypes.HashFromWord(u256.One())
+
+	logic := &solc.Contract{
+		Name: "L",
+		Funcs: []solc.Func{{ABI: abi.Function{Name: "ping"},
+			Body: []solc.Stmt{solc.ReturnConst{Value: u256.One()}}}},
+	}
+	c.InstallContract(logicAt, solc.MustCompile(logic))
+
+	proxy := &solc.Contract{
+		Name:     "P",
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateStorage, Slot: implSlot},
+	}
+	c.InstallContract(proxyAt, solc.MustCompile(proxy))
+	c.SetStorageDirect(proxyAt, implSlot, etypes.HashFromWord(logicAt.Word()))
+	c.Execute(sender, proxyAt, []byte{1, 2, 3, 4}, 0, u256.Zero())
+
+	c.InstallContract(libAt, []byte{0x00})
+	user := &solc.Contract{
+		Name:     "U",
+		Fallback: solc.Fallback{Kind: solc.FallbackLibraryCall, Target: libAt, Proto: "sqrt(uint256)"},
+	}
+	c.InstallContract(userAt, solc.MustCompile(user))
+	c.Execute(sender, userAt, []byte{5, 6, 7, 8}, 0, u256.Zero())
+
+	// A proxy with no transaction history.
+	hidden := etypes.MustAddress("0x0000000000000000000000000000000000008906")
+	c.InstallContract(hidden, solc.MustCompile(proxy))
+	c.SetStorageDirect(hidden, implSlot, etypes.HashFromWord(logicAt.Word()))
+	return c, hidden
+}
+
+func TestIdentifyProxiesFromTraces(t *testing.T) {
+	c, hidden := buildChain(t)
+	tool := crush.New(c)
+
+	pairs := tool.IdentifyProxies()
+	got := make(map[crush.Pair]bool)
+	for _, p := range pairs {
+		got[p] = true
+	}
+	if !got[crush.Pair{Proxy: proxyAt, Logic: logicAt}] {
+		t.Error("real proxy pair missed")
+	}
+	// The library caller is misclassified as a proxy: the documented FP.
+	if !got[crush.Pair{Proxy: userAt, Logic: libAt}] {
+		t.Error("library pair should be (wrongly) mined from traces")
+	}
+	// The hidden proxy is invisible: the documented FN.
+	if tool.IsProxy(hidden) {
+		t.Error("transaction-less proxy visible to trace mining")
+	}
+	if !tool.IsProxy(proxyAt) || tool.IsProxy(logicAt) {
+		t.Error("IsProxy misbehaves on transacted contracts")
+	}
+}
+
+func TestStorageCollisionEngineSharedWithProxion(t *testing.T) {
+	// Identical layouts: clean regardless of pairing.
+	c, _ := buildChain(t)
+	tool := crush.New(c)
+	cols, verified := tool.StorageCollisions(proxyAt, logicAt)
+	if len(cols) != 0 || verified {
+		t.Errorf("clean pair flagged: %v verified=%v", cols, verified)
+	}
+}

@@ -1,0 +1,587 @@
+// Package dataset generates the synthetic Ethereum contract landscape the
+// reproduction analyzes in place of the 36 million mainnet contracts: a
+// seeded, deterministic population whose proportions mirror the paper's
+// measurements — proxy share and standards split (Table 4), bytecode
+// duplication skew (Figure 5), source/transaction availability (Figure 2),
+// upgrade rarity (Figure 6) — plus the labeled collision corpora behind the
+// accuracy comparison (Table 2).
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+	"repro/internal/asm"
+	"repro/internal/etypes"
+	"repro/internal/evm"
+	"repro/internal/keccak"
+	"repro/internal/solc"
+	"repro/internal/u256"
+)
+
+// implSlot1 is the ad-hoc implementation slot (slot 1) used by generated
+// non-standard storage proxies, matching the Listing 2 layout.
+var implSlot1 = etypes.HashFromWord(u256.One())
+
+// Standard implementation slots (duplicated from the analyzer so the
+// dataset does not depend on it).
+var (
+	slotEIP1967 = etypes.HashFromWord(
+		u256.FromBytes32(keccak.Sum256([]byte("eip1967.proxy.implementation"))).Sub(u256.One()))
+	slotEIP1822 = etypes.Keccak([]byte("PROXIABLE"))
+)
+
+// plainContract is a non-proxy application contract with a few functions.
+func plainContract(n int) *solc.Contract {
+	return &solc.Contract{
+		Name: fmt.Sprintf("App%d", n),
+		// A 4-byte protocol magic stored as a constant, not a selector.
+		DecoyPush4: []([4]byte){{0xde, 0xc0, 0xde + byte(n%2), byte(n)}},
+		Vars: []solc.Var{
+			{Name: "owner", Type: solc.TypeAddress},
+			{Name: "total", Type: solc.TypeUint256},
+		},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: fmt.Sprintf("run%d", n)},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: "total"}}},
+			{ABI: abi.Function{Name: "owner"},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: "owner"}}},
+			{ABI: abi.Function{Name: "deposit", Params: []string{"uint256"}},
+				Body: []solc.Stmt{solc.AssignArg{Var: "total", Arg: 0}}},
+		},
+	}
+}
+
+// tokenContract is an ERC-20-shaped non-proxy.
+func tokenContract(n int) *solc.Contract {
+	return &solc.Contract{
+		Name: fmt.Sprintf("Token%d", n),
+		// ERC-165/721 interface identifiers embedded as constants: 4-byte
+		// data after PUSH4 opcodes that are NOT function selectors — the
+		// false-positive bait for naive any-PUSH4 signature extraction.
+		DecoyPush4: [][4]byte{{0x01, 0xff, 0xc9, 0xa7}, {0x80, 0xac, 0x58, 0xcd}},
+		Vars: []solc.Var{
+			{Name: "totalSupply", Type: solc.TypeUint256},
+			{Name: "paused", Type: solc.TypeBool},
+			{Name: "owner", Type: solc.TypeAddress},
+		},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "totalSupply"},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: "totalSupply"}}},
+			{ABI: abi.Function{Name: "transfer", Params: []string{"address", "uint256"}},
+				Body: []solc.Stmt{solc.RequireVarZero{Var: "paused"}, solc.Stop{}}},
+			{ABI: abi.Function{Name: "balanceOf", Params: []string{"address"}},
+				Body: []solc.Stmt{solc.ReturnConst{Value: u256.FromUint64(uint64(n))}}},
+		},
+	}
+}
+
+// cloneLogic is a logic contract for minimal-proxy clone families.
+func cloneLogic(family string) *solc.Contract {
+	return &solc.Contract{
+		Name: family + "Logic",
+		Vars: []solc.Var{
+			{Name: "count", Type: solc.TypeUint256},
+			{Name: "creator", Type: solc.TypeAddress},
+		},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "mint", Params: []string{"uint256"}},
+				Body: []solc.Stmt{solc.AssignArg{Var: "count", Arg: 0}}},
+			{ABI: abi.Function{Name: "count"},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: "count"}}},
+			{ABI: abi.Function{Name: "creator"},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: "creator"}}},
+		},
+	}
+}
+
+// ownableDelegateProxy reproduces the Wyvern OwnableDelegateProxy shape:
+// the proxy and logic both expose proxyType(), implementation() and
+// upgradeabilityOwner() (via inheritance in the original), so every
+// deployed duplicate carries the same three function collisions — the
+// source of 98.7% of the function collisions in Table 3.
+func ownableDelegateProxy() (*solc.Contract, *solc.Contract) {
+	shared := []solc.Func{
+		{ABI: abi.Function{Name: "proxyType"},
+			Body: []solc.Stmt{solc.ReturnConst{Value: u256.FromUint64(2)}}},
+		{ABI: abi.Function{Name: "implementation"},
+			Body: []solc.Stmt{solc.ReturnSlotField{Slot: implSlot1, Offset: 0, Size: 20}}},
+		{ABI: abi.Function{Name: "upgradeabilityOwner"},
+			Body: []solc.Stmt{solc.ReturnStorageVar{Var: "owner"}}},
+	}
+	proxy := &solc.Contract{
+		Name: "OwnableDelegateProxy",
+		Vars: []solc.Var{
+			{Name: "owner", Type: solc.TypeAddress},
+			{Name: "implementation_", Type: solc.TypeAddress},
+		},
+		Funcs:    shared,
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateStorage, Slot: implSlot1},
+	}
+	logicFuncs := append([]solc.Func{}, shared...)
+	logicFuncs = append(logicFuncs,
+		solc.Func{ABI: abi.Function{Name: "atomicMatch", Params: []string{"uint256"}},
+			Body: []solc.Stmt{solc.Stop{}}},
+	)
+	logic := &solc.Contract{
+		Name: "AuthenticatedProxyLogic",
+		Vars: []solc.Var{
+			{Name: "owner", Type: solc.TypeAddress},
+			{Name: "implementation_", Type: solc.TypeAddress},
+		},
+		Funcs: logicFuncs,
+	}
+	return proxy, logic
+}
+
+// adminSlot1967 is the EIP-1967 admin slot: keccak("eip1967.proxy.admin")-1.
+var adminSlot1967 = etypes.HashFromWord(
+	u256.FromBytes32(keccak.Sum256([]byte("eip1967.proxy.admin"))).Sub(u256.One()))
+
+// transparentProxy1967 is an EIP-1967 transparent upgradeable proxy with
+// admin functions; both the implementation and the admin live in
+// hash-derived slots, out of reach of any logic layout — exactly why the
+// standard exists.
+func transparentProxy1967(slot etypes.Hash) *solc.Contract {
+	return &solc.Contract{
+		Name: "TransparentUpgradeableProxy",
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "admin"},
+				Body: []solc.Stmt{solc.ReturnSlotField{Slot: adminSlot1967, Offset: 0, Size: 20}}},
+			{ABI: abi.Function{Name: "upgradeTo", Params: []string{"address"}},
+				Body: []solc.Stmt{
+					solc.InlineAsm{Emit: requireCallerIsAt(adminSlot1967)},
+					solc.InlineAsm{Emit: func(p *asm.Program, _ func(string) string) {
+						// implementation slot = arg 0
+						p.PushUint(4).Op(evm.CALLDATALOAD).
+							Push(slot.Word()).Op(evm.SSTORE)
+					}},
+				}},
+		},
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateStorage, Slot: slot},
+	}
+}
+
+// requireCallerIsAt emits require(caller == address(sload(slot))).
+func requireCallerIsAt(slot etypes.Hash) func(p *asm.Program, fresh func(string) string) {
+	return func(p *asm.Program, fresh func(string) string) {
+		ok := fresh("auth")
+		p.Push(slot.Word()).Op(evm.SLOAD).
+			Push(u256.One().Shl(160).Sub(u256.One())).Op(evm.AND).
+			Op(evm.CALLER).Op(evm.EQ).
+			PushLabel(ok).Op(evm.JUMPI).
+			PushUint(0).PushUint(0).Op(evm.REVERT).
+			Label(ok)
+	}
+}
+
+// uupsLogic is a logic contract for EIP-1822/1967 style proxies.
+func uupsLogic(n int) *solc.Contract {
+	return &solc.Contract{
+		Name: fmt.Sprintf("UUPSLogicV%d", n),
+		Vars: []solc.Var{
+			{Name: "value", Type: solc.TypeUint256},
+		},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "value"},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: "value"}}},
+			{ABI: abi.Function{Name: "setValue", Params: []string{"uint256"}},
+				Body: []solc.Stmt{solc.AssignArg{Var: "value", Arg: 0}}},
+			{ABI: abi.Function{Name: "version"},
+				Body: []solc.Stmt{solc.ReturnConst{Value: u256.FromUint64(uint64(n))}}},
+		},
+	}
+}
+
+// adHocSlot returns the unstructured high implementation slot used by the
+// n-th ad-hoc proxy family: not a known EIP slot, but far enough from the
+// layout that careful logic contracts do not trample it.
+func adHocSlot(n int) etypes.Hash {
+	return etypes.HashFromWord(u256.FromUint64(0x40 + uint64(n)))
+}
+
+// adHocProxy stores its implementation at an unstructured storage slot
+// without following any EIP — the "Others" bucket of Table 4.
+func adHocProxy(n int) *solc.Contract {
+	return &solc.Contract{
+		Name: fmt.Sprintf("CustomProxy%d", n),
+		Vars: []solc.Var{
+			{Name: "owner", Type: solc.TypeAddress},
+		},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "proxyOwner"},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: "owner"}}},
+			{ABI: abi.Function{Name: "setLogic", Params: []string{"address"}},
+				Body: []solc.Stmt{
+					solc.RequireCallerIs{Var: "owner"},
+					solc.InlineAsm{Emit: func(p *asm.Program, _ func(string) string) {
+						p.PushUint(4).Op(evm.CALLDATALOAD).
+							Push(adHocSlot(n).Word()).Op(evm.SSTORE)
+					}},
+				}},
+		},
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateStorage, Slot: adHocSlot(n)},
+	}
+}
+
+// adHocLogic matches adHocProxy's declared layout (owner at slot 0), so the
+// generic ad-hoc pairs are collision-free.
+func adHocLogic(n int) *solc.Contract {
+	return &solc.Contract{
+		Name: fmt.Sprintf("CustomLogic%d", n),
+		Vars: []solc.Var{
+			{Name: "owner", Type: solc.TypeAddress},
+			{Name: "value", Type: solc.TypeUint256},
+		},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "value"},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: "value"}}},
+			{ABI: abi.Function{Name: "store", Params: []string{"uint256"}},
+				Body: []solc.Stmt{solc.AssignArg{Var: "value", Arg: 0}}},
+			{ABI: abi.Function{Name: "owner"},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: "owner"}}},
+		},
+	}
+}
+
+// honeypotPair is the Listing 1 scam: the logic's lure function
+// free_ether_withdrawal() shares selector 0xdf4a3106 with the proxy's
+// impl_LUsXCWD2AKCc() — a genuine Keccak collision, not a same-name match —
+// so callers chasing the lure execute the proxy's draining body instead.
+func honeypotPair() (*solc.Contract, *solc.Contract) {
+	usdt := etypes.MustAddress("0xdAC17F958D2ee523a2206206994597C13D831ec7")
+	proxy := &solc.Contract{
+		Name: "HoneypotProxy",
+		Vars: []solc.Var{
+			{Name: "owner", Type: solc.TypeAddress},
+			{Name: "logic", Type: solc.TypeAddress},
+		},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "impl_LUsXCWD2AKCc"},
+				Body: []solc.Stmt{
+					solc.DelegateCallSig{
+						Target: usdt,
+						Proto:  "transfer(address,uint256)",
+						Args:   []u256.Int{u256.Zero(), u256.FromUint64(1000)},
+					},
+				}},
+		},
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateStorage, Slot: implSlot1},
+	}
+	logic := &solc.Contract{
+		Name: "HoneypotLure",
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "free_ether_withdrawal"},
+				Body: []solc.Stmt{
+					solc.SendToCaller{Amount: u256.FromUint64(10_000_000_000_000_000_000)}, // 10 ether
+				}},
+		},
+	}
+	return proxy, logic
+}
+
+// audiusPair is the Listing 2 storage collision: the proxy's owner address
+// at slot 0 collides with the logic's packed initializer guard bools, and
+// the logic's inherited owner assignment tramples the guard.
+func audiusPair() (*solc.Contract, *solc.Contract) {
+	proxy := &solc.Contract{
+		Name: "AudiusAdminUpgradeabilityProxy",
+		Vars: []solc.Var{
+			{Name: "owner", Type: solc.TypeAddress},
+			{Name: "logic", Type: solc.TypeAddress},
+		},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "proxyOwner"},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: "owner"}}},
+			{ABI: abi.Function{Name: "upgradeTo", Params: []string{"address"}},
+				Body: []solc.Stmt{
+					solc.RequireCallerIs{Var: "owner"},
+					solc.AssignArg{Var: "logic", Arg: 0},
+				}},
+		},
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateStorage, Slot: implSlot1},
+	}
+	logic := &solc.Contract{
+		Name: "AudiusGovernanceLogic",
+		Vars: []solc.Var{
+			{Name: "initialized", Type: solc.TypeBool},
+			{Name: "initializing", Type: solc.TypeBool},
+		},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "initialize"},
+				Body: []solc.Stmt{
+					solc.RequireInitializable{Initialized: "initialized", Initializing: "initializing"},
+					solc.AssignConst{Var: "initialized", Value: u256.One()},
+					solc.AssignConst{Var: "initializing", Value: u256.Zero()},
+					solc.AssignCallerToSlot{Slot: etypes.Hash{}, Offset: 0, Size: 20},
+				}},
+			{ABI: abi.Function{Name: "owner"},
+				Body: []solc.Stmt{solc.ReturnSlotField{Slot: etypes.Hash{}, Offset: 0, Size: 20}}},
+		},
+	}
+	return proxy, logic
+}
+
+// guardedBenignPair has the same layout mismatch as the Audius pair but the
+// trampling write sits behind an onlyOwner check, so it is not actually
+// exploitable. Static slicing cannot see the auth dominance, making this
+// the engines' characteristic false positive (Table 2).
+func guardedBenignPair() (*solc.Contract, *solc.Contract) {
+	proxy, _ := audiusPair()
+	proxy = &solc.Contract{
+		Name:     "GuardedProxy",
+		Vars:     proxy.Vars,
+		Funcs:    proxy.Funcs,
+		Fallback: proxy.Fallback,
+	}
+	logic := &solc.Contract{
+		Name: "GuardedLogic",
+		Vars: []solc.Var{
+			{Name: "initialized", Type: solc.TypeBool},
+			{Name: "initializing", Type: solc.TypeBool},
+		},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "initialize"},
+				Body: []solc.Stmt{
+					// Auth first: only the already-set owner (proxy slot 0,
+					// bytes 0..20) may run this, so an attacker cannot
+					// trigger the trampling write.
+					solc.InlineAsm{Emit: requireCallerIsSlotField},
+					solc.RequireInitializable{Initialized: "initialized", Initializing: "initializing"},
+					solc.AssignConst{Var: "initialized", Value: u256.One()},
+					solc.AssignCallerToSlot{Slot: etypes.Hash{}, Offset: 0, Size: 20},
+				}},
+		},
+	}
+	return proxy, logic
+}
+
+// requireCallerIsSlotField emits require(caller == slot0[0:20]).
+func requireCallerIsSlotField(p *asm.Program, fresh func(string) string) {
+	ok := fresh("auth")
+	p.PushUint(0).Op(evm.SLOAD).
+		Push(u256.One().Shl(160).Sub(u256.One())).Op(evm.AND).
+		Op(evm.CALLER).Op(evm.EQ).
+		PushLabel(ok).Op(evm.JUMPI).
+		PushUint(0).PushUint(0).Op(evm.REVERT).
+		Label(ok)
+}
+
+// paddingPair has identical field boundaries (full-width words) with
+// different variable names: harmless, but name-comparing tools flag it —
+// the USCHunt false positive of Table 2.
+func paddingPair(n int) (*solc.Contract, *solc.Contract) {
+	proxy := &solc.Contract{
+		Name: fmt.Sprintf("PaddedProxy%d", n),
+		Vars: []solc.Var{
+			{Name: "__gap0", Type: solc.TypeUint256},
+			{Name: "logic", Type: solc.TypeAddress},
+		},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "gap"},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: "__gap0"}}},
+		},
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateStorage, Slot: implSlot1},
+	}
+	logic := &solc.Contract{
+		Name: fmt.Sprintf("PaddedLogic%d", n),
+		Vars: []solc.Var{
+			{Name: "counter", Type: solc.TypeUint256}, // same slot 0, same width
+			{Name: "reserved", Type: solc.TypeAddress},
+		},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "bump"},
+				Body: []solc.Stmt{solc.AssignConst{Var: "counter", Value: u256.FromUint64(uint64(n))}}},
+			{ABI: abi.Function{Name: "counter"},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: "counter"}}},
+		},
+	}
+	return proxy, logic
+}
+
+// obfuscatedAudiusPair is the Audius collision with every colliding storage
+// access going through a computed (non-constant) slot, defeating the
+// slicing engines of both Proxion and CRUSH while remaining detectable by
+// a purely declaration-level comparison — the engine false negatives of
+// Table 2.
+func obfuscatedAudiusPair() (*solc.Contract, *solc.Contract) {
+	proxy, _ := audiusPair()
+	proxy = &solc.Contract{
+		Name:     "ObfuscatedProxy",
+		Vars:     proxy.Vars,
+		Funcs:    proxy.Funcs,
+		Fallback: proxy.Fallback,
+	}
+	logic := &solc.Contract{
+		Name: "ObfuscatedLogic",
+		Vars: []solc.Var{
+			{Name: "initialized", Type: solc.TypeBool},
+			{Name: "initializing", Type: solc.TypeBool},
+		},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "initialize"},
+				Body: []solc.Stmt{solc.InlineAsm{Emit: obfuscatedInitialize}}},
+			{ABI: abi.Function{Name: "owner"},
+				Body: []solc.Stmt{solc.InlineAsm{Emit: func(p *asm.Program, _ func(string) string) {
+					pushComputedSlotZero(p)
+					p.Op(evm.SLOAD).
+						Push(u256.One().Shl(160).Sub(u256.One())).Op(evm.AND).
+						PushUint(0).Op(evm.MSTORE).
+						PushUint(32).PushUint(0).Op(evm.RETURN)
+				}}}},
+		},
+	}
+	return proxy, logic
+}
+
+// pushComputedSlotZero pushes slot 0 as a runtime sum, which symbolic
+// constant-tracking cannot fold.
+func pushComputedSlotZero(p *asm.Program) {
+	p.Op(evm.CALLDATASIZE).Op(evm.CALLDATASIZE).Op(evm.SUB) // always 0, not a constant to the slicer
+}
+
+// obfuscatedInitialize reimplements the Audius initialize() with computed
+// slots: require(initializing || !initialized); set guard; owner = caller.
+func obfuscatedInitialize(p *asm.Program, fresh func(string) string) {
+	ok := fresh("obf_ok")
+	// initializing = byte 1 of slot 0.
+	pushComputedSlotZero(p)
+	p.Op(evm.SLOAD).PushUint(8).Op(evm.SHR).PushUint(0xff).Op(evm.AND)
+	p.PushLabel(ok).Op(evm.JUMPI)
+	// !initialized = byte 0 of slot 0 is zero.
+	pushComputedSlotZero(p)
+	p.Op(evm.SLOAD).PushUint(0xff).Op(evm.AND).Op(evm.ISZERO)
+	p.PushLabel(ok).Op(evm.JUMPI)
+	p.PushUint(0).PushUint(0).Op(evm.REVERT)
+	p.Label(ok)
+	// slot0 = (slot0 & ~0xffff) | 0x0001  (initialized=1, initializing=0)
+	pushComputedSlotZero(p)
+	p.Op(evm.SLOAD).
+		Push(u256.FromUint64(0xffff).Not()).Op(evm.AND).
+		PushUint(1).Op(evm.OR)
+	pushComputedSlotZero(p)
+	p.Op(evm.SSTORE)
+	// slot0 = (slot0 & ~addrMask) | caller
+	addrMask := u256.One().Shl(160).Sub(u256.One())
+	pushComputedSlotZero(p)
+	p.Op(evm.SLOAD).
+		Push(addrMask.Not()).Op(evm.AND).
+		Op(evm.CALLER).Op(evm.OR)
+	pushComputedSlotZero(p)
+	p.Op(evm.SSTORE).
+		Op(evm.STOP)
+}
+
+// libraryPair is a contract that delegatecalls a shared math library with
+// constructed call data. The library touches scratch storage with a layout
+// unlike the caller's, so trace-driven tools that misread the delegatecall
+// as a proxy relationship report a spurious storage collision.
+func libraryPair(n int) (*solc.Contract, *solc.Contract) {
+	user := &solc.Contract{
+		Name: fmt.Sprintf("LibraryUser%d", n),
+		Vars: []solc.Var{
+			{Name: "owner", Type: solc.TypeAddress}, // slot 0: address
+			{Name: "result", Type: solc.TypeUint256},
+		},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "result"},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: "result"}}},
+			{ABI: abi.Function{Name: "ownerOf"},
+				Body: []solc.Stmt{solc.RequireCallerIs{Var: "owner"}, solc.ReturnStorageVar{Var: "owner"}}},
+		},
+		// Library call in the fallback path: contains DELEGATECALL, but
+		// forwards nothing.
+		Fallback: solc.Fallback{Kind: solc.FallbackLibraryCall, Proto: "sqrt(uint256)"},
+	}
+	lib := &solc.Contract{
+		Name: fmt.Sprintf("MathLib%d", n),
+		Vars: []solc.Var{
+			{Name: "scratchLo", Type: solc.TypeUint128}, // slot 0: two halves
+			{Name: "scratchHi", Type: solc.TypeUint128},
+		},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "sqrt", Params: []string{"uint256"}},
+				Body: []solc.Stmt{
+					solc.AssignArg{Var: "scratchLo", Arg: 0},
+					solc.ReturnStorageVar{Var: "scratchLo"},
+				}},
+		},
+	}
+	return user, lib
+}
+
+// diamondProxy is an EIP-2535 multi-facet proxy; Proxion documents missing
+// these (random call data cannot hit a registered facet selector).
+func diamondProxy() *solc.Contract {
+	return &solc.Contract{
+		Name: "Diamond",
+		Fallback: solc.Fallback{
+			Kind: solc.FallbackDelegateDiamond,
+			Slot: etypes.Keccak([]byte("diamond.standard.diamond.storage")),
+		},
+	}
+}
+
+// diamondFacet is a facet contract for diamonds.
+func diamondFacet() *solc.Contract {
+	return &solc.Contract{
+		Name: "DiamondLoupeFacet",
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "facets"},
+				Body: []solc.Stmt{solc.ReturnConst{Value: u256.One()}}},
+		},
+	}
+}
+
+// hostileProxy genuinely forwards call data via delegatecall in its
+// fallback (ground truth: proxy) but hits an INVALID opcode for call data
+// that does not carry its magic tag — the emulation runtime errors behind
+// Proxion's three function-collision false negatives in Table 2.
+func hostileProxy() []byte {
+	var p asm.Program
+	// if calldataload(4) != MAGIC: INVALID
+	p.PushUint(4).Op(evm.CALLDATALOAD).
+		Push(u256.FromUint64(0xdeadbeef)).Op(evm.EQ).
+		JumpI("fwd").
+		Op(evm.INVALID).
+		Label("fwd")
+	// Forward the call data to the address in slot 1.
+	p.Op(evm.CALLDATASIZE).PushUint(0).PushUint(0).Op(evm.CALLDATACOPY).
+		PushUint(0).PushUint(0).
+		Op(evm.CALLDATASIZE).PushUint(0).
+		Push(implSlot1.Word()).Op(evm.SLOAD).
+		Op(evm.GAS).Op(evm.DELEGATECALL).
+		Op(evm.POP).
+		Op(evm.RETURNDATASIZE).PushUint(0).Op(evm.RETURN)
+	return p.MustAssemble()
+}
+
+// hostileProxySource is the declared source of the hostile proxy (it may be
+// published even though emulation fails on it).
+func hostileProxySource() *solc.Contract {
+	return &solc.Contract{
+		Name: "TaggedForwarder",
+		Vars: []solc.Var{
+			{Name: "owner", Type: solc.TypeAddress},
+			{Name: "logic", Type: solc.TypeAddress},
+		},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "proxyType"},
+				Body: []solc.Stmt{solc.ReturnConst{Value: u256.FromUint64(2)}}},
+		},
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateStorage, Slot: implSlot1},
+	}
+}
+
+// brokenBytecode is undeployable-by-compiler junk that underflows the
+// stack immediately — the ~1.2% emulation failures of Section 6.2.
+func brokenBytecode(n int) []byte {
+	return []byte{byte(evm.ADD), byte(evm.DELEGATECALL), byte(n)}
+}
+
+// suicideBytecode self-destructs on any call, sweeping to the caller.
+func suicideBytecode() []byte {
+	var p asm.Program
+	p.Op(evm.CALLER).Op(evm.SELFDESTRUCT)
+	return p.MustAssemble()
+}

@@ -1,0 +1,56 @@
+package disasm
+
+import "repro/internal/evm"
+
+// BasicBlock is a maximal straight-line instruction sequence: control enters
+// only at the first instruction and leaves only at the last.
+type BasicBlock struct {
+	// Start is the PC of the first instruction.
+	Start uint64
+	// Instrs are the block's instructions in order.
+	Instrs []Instruction
+}
+
+// End returns the PC just past the last instruction.
+func (b BasicBlock) End() uint64 {
+	if len(b.Instrs) == 0 {
+		return b.Start
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	return last.PC + 1 + uint64(last.Op.PushSize())
+}
+
+// terminatesBlock reports whether op ends a basic block.
+func terminatesBlock(op evm.Op) bool {
+	switch op {
+	case evm.JUMP, evm.JUMPI, evm.STOP, evm.RETURN, evm.REVERT,
+		evm.INVALID, evm.SELFDESTRUCT:
+		return true
+	}
+	return false
+}
+
+// BasicBlocks partitions code into basic blocks. Blocks begin at code start,
+// at every JUMPDEST, and after every terminator.
+func BasicBlocks(code []byte) []BasicBlock {
+	instrs := Disassemble(code)
+	var blocks []BasicBlock
+	var cur BasicBlock
+	flush := func(nextStart uint64) {
+		if len(cur.Instrs) > 0 {
+			blocks = append(blocks, cur)
+		}
+		cur = BasicBlock{Start: nextStart}
+	}
+	for _, ins := range instrs {
+		if ins.Op == evm.JUMPDEST && len(cur.Instrs) > 0 {
+			flush(ins.PC)
+		}
+		cur.Instrs = append(cur.Instrs, ins)
+		if terminatesBlock(ins.Op) {
+			flush(ins.PC + 1)
+		}
+	}
+	flush(0)
+	return blocks
+}

@@ -1,0 +1,253 @@
+// Package disasm disassembles EVM bytecode into instructions and basic
+// blocks, and implements the static pattern analyses Proxion builds on:
+// DELEGATECALL presence filtering (Section 4.1), PUSH4 selector-candidate
+// scanning used to craft non-colliding call data (Section 4.2), dispatcher
+// pattern matching for bytecode-level function-signature extraction
+// (Section 5.1), and the EIP-1167 minimal-proxy matcher (Section 4.3).
+package disasm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/etypes"
+	"repro/internal/evm"
+)
+
+// Instruction is one decoded opcode with its immediate (for PUSHn).
+type Instruction struct {
+	PC  uint64
+	Op  evm.Op
+	Imm []byte // nil unless Op is PUSH1..PUSH32
+}
+
+// String formats the instruction like "001F PUSH4 0xdf4a3106".
+func (ins Instruction) String() string {
+	if len(ins.Imm) > 0 {
+		return fmt.Sprintf("%04X %s 0x%x", ins.PC, ins.Op, ins.Imm)
+	}
+	return fmt.Sprintf("%04X %s", ins.PC, ins.Op)
+}
+
+// Disassemble decodes code into a linear instruction stream. Truncated
+// trailing PUSH immediates are zero-padded, matching interpreter behaviour.
+// Undefined opcode bytes decode as single-byte instructions so that data
+// trailers (e.g. Solidity metadata) do not derail the stream.
+func Disassemble(code []byte) []Instruction {
+	instrs := make([]Instruction, 0, len(code)/2)
+	for pc := 0; pc < len(code); {
+		op := evm.Op(code[pc])
+		ins := Instruction{PC: uint64(pc), Op: op}
+		size := op.PushSize()
+		if size > 0 {
+			imm := make([]byte, size)
+			end := pc + 1 + size
+			if end > len(code) {
+				end = len(code)
+			}
+			copy(imm, code[pc+1:end])
+			ins.Imm = imm
+		}
+		instrs = append(instrs, ins)
+		pc += 1 + size
+	}
+	return instrs
+}
+
+// Format renders a human-readable listing of the disassembly.
+func Format(code []byte) string {
+	var b strings.Builder
+	for _, ins := range Disassemble(code) {
+		b.WriteString(ins.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ContainsOp reports whether the decoded instruction stream contains op.
+// This respects PUSH immediates: an 0xF4 byte inside push data does not
+// count as DELEGATECALL, unlike a raw byte scan.
+func ContainsOp(code []byte, op evm.Op) bool {
+	for pc := 0; pc < len(code); {
+		cur := evm.Op(code[pc])
+		if cur == op {
+			return true
+		}
+		pc += 1 + cur.PushSize()
+	}
+	return false
+}
+
+// Push4Candidates returns every distinct 4-byte immediate following a PUSH4
+// opcode. Not all of these are function selectors (arbitrary constants also
+// use PUSH4) — Proxion uses this over-approximation to pick call data that
+// avoids every candidate (Section 4.2).
+func Push4Candidates(code []byte) [][4]byte {
+	seen := make(map[[4]byte]struct{})
+	var out [][4]byte
+	for _, ins := range Disassemble(code) {
+		if ins.Op == evm.PUSH4 && len(ins.Imm) == 4 {
+			var sel [4]byte
+			copy(sel[:], ins.Imm)
+			if _, dup := seen[sel]; !dup {
+				seen[sel] = struct{}{}
+				out = append(out, sel)
+			}
+		}
+	}
+	return out
+}
+
+// DispatcherSelectors extracts the 4-byte function signatures that the
+// contract's selector dispatcher compares against. It matches the code
+// shape emitted by Solidity and Vyper:
+//
+//	DUP1; PUSH4 <sig>; EQ; PUSH2 <dest>; JUMPI
+//
+// tolerating the common variations (operands swapped, GT/LT split search
+// trees omitted, an extra DUP/SWAP between EQ and the jump push). A PUSH4
+// whose value never feeds an EQ+JUMPI comparison is treated as data, which
+// is what lets this analysis avoid the false positives of the naive
+// any-PUSH4 approach (Section 3.1).
+func DispatcherSelectors(code []byte) [][4]byte {
+	instrs := Disassemble(code)
+	seen := make(map[[4]byte]struct{})
+	var out [][4]byte
+	for i, ins := range instrs {
+		if ins.Op != evm.PUSH4 || len(ins.Imm) != 4 {
+			continue
+		}
+		if !comparisonFeedsJump(instrs, i) {
+			continue
+		}
+		var sel [4]byte
+		copy(sel[:], ins.Imm)
+		if _, dup := seen[sel]; !dup {
+			seen[sel] = struct{}{}
+			out = append(out, sel)
+		}
+	}
+	return out
+}
+
+// DispatcherTargets maps each dispatcher-compared selector to the code
+// offset its JUMPI branches to — the entry point of the function's body.
+// This is how per-function analyses (e.g. attributing storage accesses to
+// the function that performs them) segment bytecode without source.
+func DispatcherTargets(code []byte) map[[4]byte]uint64 {
+	instrs := Disassemble(code)
+	out := make(map[[4]byte]uint64)
+	for i, ins := range instrs {
+		if ins.Op != evm.PUSH4 || len(ins.Imm) != 4 {
+			continue
+		}
+		if !comparisonFeedsJump(instrs, i) {
+			continue
+		}
+		// The jump-target push is the last PUSH before the JUMPI.
+		var target uint64
+		found := false
+		for j := i + 1; j < len(instrs) && j <= i+6; j++ {
+			op := instrs[j].Op
+			if op.IsPush() {
+				target = 0
+				for _, b := range instrs[j].Imm {
+					target = target<<8 | uint64(b)
+				}
+				found = true
+			}
+			if op == evm.JUMPI {
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		var sel [4]byte
+		copy(sel[:], ins.Imm)
+		if _, dup := out[sel]; !dup {
+			out[sel] = target
+		}
+	}
+	return out
+}
+
+// comparisonFeedsJump reports whether the PUSH4 at index i is followed,
+// within a small window, by an EQ (or SUB used as inequality test) whose
+// result reaches a JUMPI. Stack-neutral shuffles (DUPn, SWAPn) are allowed
+// inside the window.
+func comparisonFeedsJump(instrs []Instruction, i int) bool {
+	const window = 6
+	sawCompare := false
+	for j := i + 1; j < len(instrs) && j <= i+window; j++ {
+		op := instrs[j].Op
+		switch {
+		case op == evm.EQ || op == evm.SUB:
+			sawCompare = true
+		case op == evm.JUMPI:
+			return sawCompare
+		case op.IsDup() || op.IsSwap() || op == evm.ISZERO:
+			// Stack shuffles and polarity flips are fine.
+		case op.IsPush():
+			// The jump-target push.
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// minimalProxyPrefix and minimalProxySuffix frame the EIP-1167 runtime:
+// 363d3d373d3d3d363d73 <address> 5af43d82803e903d91602b57fd5bf3.
+var (
+	minimalProxyPrefix = []byte{
+		0x36, 0x3d, 0x3d, 0x37, 0x3d, 0x3d, 0x3d, 0x36, 0x3d, 0x73,
+	}
+	minimalProxySuffix = []byte{
+		0x5a, 0xf4, 0x3d, 0x82, 0x80, 0x3e, 0x90, 0x3d, 0x91, 0x60,
+		0x2b, 0x57, 0xfd, 0x5b, 0xf3,
+	}
+)
+
+// MinimalProxyRuntime builds the canonical EIP-1167 runtime bytecode
+// delegating to target.
+func MinimalProxyRuntime(target etypes.Address) []byte {
+	out := make([]byte, 0, len(minimalProxyPrefix)+20+len(minimalProxySuffix))
+	out = append(out, minimalProxyPrefix...)
+	out = append(out, target[:]...)
+	out = append(out, minimalProxySuffix...)
+	return out
+}
+
+// MinimalProxyTarget reports whether code is an EIP-1167 minimal proxy and,
+// if so, the hard-coded logic contract address.
+func MinimalProxyTarget(code []byte) (etypes.Address, bool) {
+	want := len(minimalProxyPrefix) + 20 + len(minimalProxySuffix)
+	if len(code) != want {
+		return etypes.Address{}, false
+	}
+	for i, b := range minimalProxyPrefix {
+		if code[i] != b {
+			return etypes.Address{}, false
+		}
+	}
+	for i, b := range minimalProxySuffix {
+		if code[len(minimalProxyPrefix)+20+i] != b {
+			return etypes.Address{}, false
+		}
+	}
+	return etypes.BytesToAddress(code[len(minimalProxyPrefix) : len(minimalProxyPrefix)+20]), true
+}
+
+// HardcodedAddresses returns all 20-byte PUSH20 immediates in the code:
+// candidate hard-coded contract addresses (used to decide whether a
+// DELEGATECALL target came from code or from storage).
+func HardcodedAddresses(code []byte) []etypes.Address {
+	var out []etypes.Address
+	for _, ins := range Disassemble(code) {
+		if ins.Op == evm.PUSH20 && len(ins.Imm) == 20 {
+			out = append(out, etypes.BytesToAddress(ins.Imm))
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+// Package etherscan simulates the two roles Etherscan plays in the paper:
+// a registry of verified contract source code (the ~18% of contracts whose
+// developers published source, Section 3.1), and the explorer's built-in
+// proxy verification tool — a naive check that flags any contract whose
+// bytecode contains a DELEGATECALL opcode, which Etherscan itself admits
+// produces many false positives (Section 9.1).
+package etherscan
+
+import (
+	"sync"
+
+	"repro/internal/disasm"
+	"repro/internal/etypes"
+	"repro/internal/evm"
+	"repro/internal/solc"
+)
+
+// Entry is one verified-source record.
+type Entry struct {
+	Source *solc.Contract
+	// CompilerKnown records whether the registry knows the exact compiler
+	// version. USCHunt's pipeline recompiles sources and halts on unknown
+	// compiler versions (~30% of its failures, Section 6.2).
+	CompilerKnown bool
+}
+
+// Registry maps contract addresses to their published source, when any.
+// It is safe for concurrent reads after population.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[etypes.Address]Entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[etypes.Address]Entry)}
+}
+
+// Publish records verified source for addr.
+func (r *Registry) Publish(addr etypes.Address, src *solc.Contract, compilerKnown bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[addr] = Entry{Source: src, CompilerKnown: compilerKnown}
+}
+
+// Source returns the published source for addr, or nil. Implements
+// proxion.SourceProvider.
+func (r *Registry) Source(addr etypes.Address) *solc.Contract {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.entries[addr].Source
+}
+
+// Entry returns the full record and whether one exists.
+func (r *Registry) Entry(addr etypes.Address) (Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[addr]
+	return e, ok
+}
+
+// HasSource reports whether addr has published source.
+func (r *Registry) HasSource(addr etypes.Address) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.entries[addr]
+	return ok
+}
+
+// Count returns the number of published entries.
+func (r *Registry) Count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// VerifierIsProxy is Etherscan's proxy verification heuristic: the bytecode
+// contains a DELEGATECALL opcode. Cheap, source-free, and over-inclusive —
+// library calls and diamonds all count.
+func VerifierIsProxy(code []byte) bool {
+	return disasm.ContainsOp(code, evm.DELEGATECALL)
+}

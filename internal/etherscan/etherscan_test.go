@@ -1,0 +1,64 @@
+package etherscan_test
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/disasm"
+	"repro/internal/etherscan"
+	"repro/internal/etypes"
+	"repro/internal/solc"
+)
+
+var someAddr = etypes.MustAddress("0x0000000000000000000000000000000000007777")
+
+func TestRegistryPublishAndLookup(t *testing.T) {
+	r := etherscan.NewRegistry()
+	if r.HasSource(someAddr) {
+		t.Error("empty registry has source")
+	}
+	src := &solc.Contract{Name: "Thing"}
+	r.Publish(someAddr, src, true)
+	if !r.HasSource(someAddr) || r.Count() != 1 {
+		t.Error("publish not visible")
+	}
+	if got := r.Source(someAddr); got != src {
+		t.Error("source mismatch")
+	}
+	e, ok := r.Entry(someAddr)
+	if !ok || !e.CompilerKnown || e.Source.Name != "Thing" {
+		t.Errorf("entry = %+v ok=%v", e, ok)
+	}
+}
+
+func TestVerifierHeuristic(t *testing.T) {
+	// Any DELEGATECALL counts, proxy or not: that is the documented
+	// imprecision.
+	proxyish := &solc.Contract{
+		Name:     "P",
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateHardcoded},
+	}
+	library := &solc.Contract{
+		Name:     "L",
+		Fallback: solc.Fallback{Kind: solc.FallbackLibraryCall, Proto: "f()"},
+	}
+	plain := &solc.Contract{
+		Name: "N",
+		Funcs: []solc.Func{{
+			ABI: abi.Function{Name: "noop"}, Body: []solc.Stmt{solc.Stop{}},
+		}},
+	}
+	if !etherscan.VerifierIsProxy(solc.MustCompile(proxyish)) {
+		t.Error("real proxy not flagged")
+	}
+	if !etherscan.VerifierIsProxy(solc.MustCompile(library)) {
+		t.Error("library caller must be (wrongly) flagged — that is the heuristic's FP")
+	}
+	if etherscan.VerifierIsProxy(solc.MustCompile(plain)) {
+		t.Error("plain contract flagged")
+	}
+	// Minimal proxies are caught too.
+	if !etherscan.VerifierIsProxy(disasm.MinimalProxyRuntime(someAddr)) {
+		t.Error("minimal proxy not flagged")
+	}
+}

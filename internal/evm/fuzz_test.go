@@ -1,0 +1,48 @@
+package evm_test
+
+import (
+	"testing"
+
+	"repro/internal/evm"
+	"repro/internal/u256"
+)
+
+// FuzzExecuteArbitraryBytecode: the interpreter must terminate cleanly (no
+// panic, no hang) on arbitrary bytecode — the property the whole analyzer
+// rests on, since Proxion emulates unvetted adversarial contracts.
+func FuzzExecuteArbitraryBytecode(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x5b, 0x60, 0x00, 0x56})                   // jumpdest push0 jump: loop
+	f.Add([]byte{0x60, 0x01, 0x60, 0x00, 0x55})             // sstore
+	f.Add([]byte{0x33, 0x33, 0x33, 0xf4})                   // underflow delegatecall
+	f.Add([]byte{0x36, 0x60, 0x00, 0x60, 0x00, 0x37, 0xf3}) // calldatacopy return
+	f.Add([]byte{0x7f})                                     // truncated push32
+
+	f.Fuzz(func(t *testing.T, code []byte) {
+		st := newMemState()
+		st.code[addrA] = code
+		e := evm.New(st, evm.Config{
+			StepLimit: 50_000,
+			Lenient:   true,
+		})
+		res := e.Call(user, addrA, []byte{0xde, 0xad, 0xbe, 0xef}, 1_000_000, u256.Zero())
+		// Any outcome is fine; gas accounting must stay sane.
+		if res.GasLeft > 1_000_000 {
+			t.Fatalf("gas increased: %d", res.GasLeft)
+		}
+	})
+}
+
+// FuzzProxyProbe feeds arbitrary bytecode and call data through the exact
+// code paths detection uses.
+func FuzzProxyProbe(f *testing.F) {
+	f.Add([]byte{0xf4}, []byte{1, 2, 3, 4})
+	f.Add([]byte{0x36, 0x3d, 0x3d, 0x37, 0xf4}, []byte{})
+
+	f.Fuzz(func(t *testing.T, code, input []byte) {
+		st := newMemState()
+		st.code[addrA] = code
+		e := evm.New(st, evm.Config{StepLimit: 20_000, Lenient: true})
+		e.Call(user, addrA, input, 500_000, u256.Zero())
+	})
+}

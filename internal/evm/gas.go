@@ -1,0 +1,171 @@
+package evm
+
+// Gas cost tiers, following the Yellow Paper's fee schedule shape. The model
+// is intentionally simplified relative to post-Berlin access lists (no
+// warm/cold distinction, no refunds): analysis workloads need execution to
+// terminate and costs to be monotone, not consensus-exact accounting.
+const (
+	gasZero    = 0
+	gasBase    = 2
+	gasVeryLow = 3
+	gasLow     = 5
+	gasMid     = 8
+	gasHigh    = 10
+
+	gasExt          = 100
+	gasSload        = 100
+	gasSstoreSet    = 20000
+	gasSstoreReset  = 5000
+	gasJumpdest     = 1
+	gasKeccakBase   = 30
+	gasKeccakWord   = 6
+	gasCopyWord     = 3
+	gasLogBase      = 375
+	gasLogTopic     = 375
+	gasLogByte      = 8
+	gasCreate       = 32000
+	gasCallBase     = 100
+	gasCallValue    = 9000
+	gasCallStipend  = 2300
+	gasSelfdestruct = 5000
+	gasExpBase      = 10
+	gasExpByte      = 50
+	gasMemoryWord   = 3
+	gasQuadDivisor  = 512
+)
+
+// constGas returns the static gas charge for op. Dynamic components (memory
+// expansion, per-word copy costs, call forwarding) are charged by the
+// interpreter at the call sites.
+func constGas(op Op) uint64 {
+	switch {
+	case op.IsPush() || op.IsDup() || op.IsSwap():
+		return gasVeryLow
+	case op.IsLog():
+		return gasLogBase + uint64(op-LOG0)*gasLogTopic
+	}
+	switch op {
+	case STOP, RETURN, REVERT:
+		return gasZero
+	case ADDRESS, ORIGIN, CALLER, CALLVALUE, CALLDATASIZE, CODESIZE,
+		GASPRICE, COINBASE, TIMESTAMP, NUMBER, DIFFICULTY, GASLIMIT,
+		RETURNDATASIZE, POP, PC, MSIZE, GAS, CHAINID, BASEFEE, PUSH0:
+		return gasBase
+	case ADD, SUB, LT, GT, SLT, SGT, EQ, ISZERO, AND, OR, XOR, NOT, BYTE,
+		SHL, SHR, SAR, CALLDATALOAD, MLOAD, MSTORE, MSTORE8,
+		CALLDATACOPY, CODECOPY, RETURNDATACOPY:
+		return gasVeryLow
+	case MUL, DIV, SDIV, MOD, SMOD, SIGNEXTEND, SELFBALANCE:
+		return gasLow
+	case ADDMOD, MULMOD, JUMP:
+		return gasMid
+	case JUMPI, EXP:
+		return gasHigh
+	case BLOCKHASH:
+		return 20
+	case BALANCE, EXTCODESIZE, EXTCODECOPY, EXTCODEHASH:
+		return gasExt
+	case SLOAD:
+		return gasSload
+	case JUMPDEST:
+		return gasJumpdest
+	case KECCAK256:
+		return gasKeccakBase
+	case CREATE, CREATE2:
+		return gasCreate
+	case CALL, CALLCODE, DELEGATECALL, STATICCALL:
+		return gasCallBase
+	case SELFDESTRUCT:
+		return gasSelfdestruct
+	default:
+		return gasBase
+	}
+}
+
+// stackReq returns how many operands op pops and pushes.
+func stackReq(op Op) (pops, pushes int) {
+	switch {
+	case op.IsPush():
+		return 0, 1
+	case op.IsDup():
+		return int(op-DUP1) + 1, int(op-DUP1) + 2
+	case op.IsSwap():
+		return int(op-SWAP1) + 2, int(op-SWAP1) + 2
+	case op.IsLog():
+		return int(op-LOG0) + 2, 0
+	}
+	switch op {
+	case STOP, JUMPDEST, INVALID:
+		return 0, 0
+	case ADD, MUL, SUB, DIV, SDIV, MOD, SMOD, SIGNEXTEND, LT, GT, SLT, SGT,
+		EQ, AND, OR, XOR, BYTE, SHL, SHR, SAR, KECCAK256:
+		return 2, 1
+	case ADDMOD, MULMOD:
+		return 3, 1
+	case EXP:
+		return 2, 1
+	case ISZERO, NOT, BALANCE, CALLDATALOAD, EXTCODESIZE, EXTCODEHASH,
+		BLOCKHASH, MLOAD, SLOAD:
+		return 1, 1
+	case ADDRESS, ORIGIN, CALLER, CALLVALUE, CALLDATASIZE, CODESIZE,
+		GASPRICE, RETURNDATASIZE, COINBASE, TIMESTAMP, NUMBER, DIFFICULTY,
+		GASLIMIT, CHAINID, SELFBALANCE, BASEFEE, PC, MSIZE, GAS, PUSH0:
+		return 0, 1
+	case POP, JUMP, SELFDESTRUCT:
+		return 1, 0
+	case MSTORE, MSTORE8, SSTORE, JUMPI:
+		return 2, 0
+	case CALLDATACOPY, CODECOPY, RETURNDATACOPY:
+		return 3, 0
+	case EXTCODECOPY:
+		return 4, 0
+	case CREATE:
+		return 3, 1
+	case CREATE2:
+		return 4, 1
+	case CALL, CALLCODE:
+		return 7, 1
+	case DELEGATECALL, STATICCALL:
+		return 6, 1
+	case RETURN, REVERT:
+		return 2, 0
+	default:
+		return 0, 0
+	}
+}
+
+// memoryGas returns the total fee for a memory of the given word count,
+// per the Yellow Paper quadratic model.
+func memoryGas(words uint64) uint64 {
+	return gasMemoryWord*words + words*words/gasQuadDivisor
+}
+
+// chargeMemory charges the expansion delta for making [offset, offset+size)
+// addressable and reports whether gas sufficed.
+func (f *Frame) chargeMemory(offset, size uint64) error {
+	if size == 0 {
+		return nil
+	}
+	end := offset + size
+	if end < offset || end > memoryCap {
+		return ErrOutOfGas
+	}
+	oldWords := uint64(f.memory.Len()) / 32
+	newWords := (end + 31) / 32
+	if newWords <= oldWords {
+		return nil
+	}
+	return f.chargeGas(memoryGas(newWords) - memoryGas(oldWords))
+}
+
+// chargeGas deducts amount from the frame's remaining gas.
+func (f *Frame) chargeGas(amount uint64) error {
+	if f.gas < amount {
+		return ErrOutOfGas
+	}
+	f.gas -= amount
+	return nil
+}
+
+// wordCount rounds a byte size up to 32-byte words.
+func wordCount(size uint64) uint64 { return (size + 31) / 32 }

@@ -1,0 +1,512 @@
+package evm_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/etypes"
+	"repro/internal/evm"
+	"repro/internal/u256"
+)
+
+var (
+	addrA = etypes.MustAddress("0x000000000000000000000000000000000000aaaa")
+	addrB = etypes.MustAddress("0x000000000000000000000000000000000000bbbb")
+	user  = etypes.MustAddress("0x0000000000000000000000000000000000001234")
+)
+
+const testGas = 10_000_000
+
+// runCode deploys code at addrA and calls it with input, returning output.
+func runCode(t *testing.T, code, input []byte) ([]byte, error) {
+	t.Helper()
+	st := newMemState()
+	st.code[addrA] = code
+	e := evm.New(st, evm.Config{Block: evm.DefaultBlockContext(), Lenient: true})
+	res := e.Call(user, addrA, input, testGas, u256.Zero())
+	return res.Output, res.Err
+}
+
+// returnTop is a program suffix that returns the top-of-stack word.
+func returnTop(p *asm.Program) []byte {
+	p.PushUint(0).Op(evm.MSTORE). // mem[0] = top
+					PushUint(32).PushUint(0).Op(evm.RETURN)
+	return p.MustAssemble()
+}
+
+func TestArithmeticPrograms(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(p *asm.Program)
+		want  uint64
+	}{
+		{"add", func(p *asm.Program) { p.PushUint(2).PushUint(3).Op(evm.ADD) }, 5},
+		{"mul", func(p *asm.Program) { p.PushUint(6).PushUint(7).Op(evm.MUL) }, 42},
+		// SUB pops a then b and computes a-b with a = top.
+		{"sub", func(p *asm.Program) { p.PushUint(3).PushUint(10).Op(evm.SUB) }, 7},
+		{"div", func(p *asm.Program) { p.PushUint(3).PushUint(10).Op(evm.DIV) }, 3},
+		{"div by zero", func(p *asm.Program) { p.PushUint(0).PushUint(10).Op(evm.DIV) }, 0},
+		{"mod", func(p *asm.Program) { p.PushUint(3).PushUint(10).Op(evm.MOD) }, 1},
+		{"exp", func(p *asm.Program) { p.PushUint(8).PushUint(2).Op(evm.EXP) }, 256},
+		{"lt", func(p *asm.Program) { p.PushUint(5).PushUint(3).Op(evm.LT) }, 1},
+		{"gt", func(p *asm.Program) { p.PushUint(5).PushUint(3).Op(evm.GT) }, 0},
+		{"eq", func(p *asm.Program) { p.PushUint(9).PushUint(9).Op(evm.EQ) }, 1},
+		{"iszero", func(p *asm.Program) { p.PushUint(0).Op(evm.ISZERO) }, 1},
+		{"and", func(p *asm.Program) { p.PushUint(0xf0).PushUint(0xff).Op(evm.AND) }, 0xf0},
+		{"or", func(p *asm.Program) { p.PushUint(0xf0).PushUint(0x0f).Op(evm.OR) }, 0xff},
+		{"xor", func(p *asm.Program) { p.PushUint(0xff).PushUint(0x0f).Op(evm.XOR) }, 0xf0},
+		{"shl", func(p *asm.Program) { p.PushUint(1).PushUint(4).Op(evm.SHL) }, 16},
+		{"shr", func(p *asm.Program) { p.PushUint(16).PushUint(4).Op(evm.SHR) }, 1},
+		{"byte", func(p *asm.Program) { p.PushUint(0xff).PushUint(31).Op(evm.BYTE) }, 0xff},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var p asm.Program
+			c.build(&p)
+			out, err := runCode(t, returnTop(&p), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := u256.FromBytes(out); got.Uint64() != c.want {
+				t.Errorf("got %s, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+func TestStackOps(t *testing.T) {
+	var p asm.Program
+	p.PushUint(1).PushUint(2).PushUint(3). // stack: 1 2 3
+						Op(evm.DUP1+2, evm.SWAP1, evm.POP) // DUP3, SWAP1, POP
+	// After DUP3: 1 2 3 1; SWAP1: 1 2 1 3; POP: 1 2 1; top is 1.
+	out, err := runCode(t, returnTop(&p), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u256.FromBytes(out); got.Uint64() != 1 {
+		t.Errorf("stack shuffle result = %s, want 1", got)
+	}
+}
+
+func TestJumpAndConditional(t *testing.T) {
+	// if (calldata word 0 != 0) return 111 else return 222
+	var p asm.Program
+	p.PushUint(0).Op(evm.CALLDATALOAD).
+		JumpI("nonzero").
+		PushUint(222).Jump("out").
+		Label("nonzero").
+		PushUint(111).
+		Label("out")
+	code := returnTop(&p)
+
+	out, err := runCode(t, code, make([]byte, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u256.FromBytes(out); got.Uint64() != 222 {
+		t.Errorf("zero branch = %s, want 222", got)
+	}
+	arg := make([]byte, 32)
+	arg[31] = 1
+	out, err = runCode(t, code, arg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u256.FromBytes(out); got.Uint64() != 111 {
+		t.Errorf("nonzero branch = %s, want 111", got)
+	}
+}
+
+func TestInvalidJumpIntoPushData(t *testing.T) {
+	// PUSH2 0x005b encodes a 0x5b byte inside push data at offset 2;
+	// jumping there must fail.
+	code := []byte{
+		byte(evm.PUSH2), 0x00, 0x5b, // 0: push 0x005b (byte 0x5b at pc=2)
+		byte(evm.PUSH1), 0x02, // 3: push 2
+		byte(evm.JUMP), // 5: jump to 2 -> invalid
+	}
+	_, err := runCode(t, code, nil)
+	if !errors.Is(err, evm.ErrInvalidJump) {
+		t.Errorf("err = %v, want ErrInvalidJump", err)
+	}
+}
+
+func TestStackUnderflowAndOverflow(t *testing.T) {
+	if _, err := runCode(t, []byte{byte(evm.ADD)}, nil); !errors.Is(err, evm.ErrStackUnderflow) {
+		t.Errorf("underflow err = %v", err)
+	}
+	// Infinite push loop overflows the 1024-slot stack.
+	var p asm.Program
+	p.Label("loop").PushUint(1).Jump("loop")
+	if _, err := runCode(t, p.MustAssemble(), nil); !errors.Is(err, evm.ErrStackOverflow) {
+		t.Errorf("overflow err = %v", err)
+	}
+}
+
+func TestStepLimitStopsInfiniteLoop(t *testing.T) {
+	var p asm.Program
+	p.Label("spin").Jump("spin")
+	st := newMemState()
+	st.code[addrA] = p.MustAssemble()
+	e := evm.New(st, evm.Config{StepLimit: 1000, Lenient: true})
+	res := e.Call(user, addrA, nil, testGas, u256.Zero())
+	if !errors.Is(res.Err, evm.ErrStepLimit) {
+		t.Errorf("err = %v, want ErrStepLimit", res.Err)
+	}
+}
+
+func TestOutOfGas(t *testing.T) {
+	var p asm.Program
+	p.PushUint(1).PushUint(0).Op(evm.SSTORE)
+	st := newMemState()
+	st.code[addrA] = p.MustAssemble()
+	e := evm.New(st, evm.Config{Lenient: true})
+	res := e.Call(user, addrA, nil, 100, u256.Zero()) // far below SSTORE cost
+	if !errors.Is(res.Err, evm.ErrOutOfGas) {
+		t.Errorf("err = %v, want ErrOutOfGas", res.Err)
+	}
+	if res.GasLeft != 0 {
+		t.Errorf("failed frame must consume all gas, left %d", res.GasLeft)
+	}
+}
+
+func TestStorageReadWrite(t *testing.T) {
+	// sstore(5, 0xbeef); return sload(5)
+	var p asm.Program
+	p.PushUint(0xbeef).PushUint(5).Op(evm.SSTORE).
+		PushUint(5).Op(evm.SLOAD)
+	out, err := runCode(t, returnTop(&p), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u256.FromBytes(out); got.Uint64() != 0xbeef {
+		t.Errorf("sload = %s, want 0xbeef", got)
+	}
+}
+
+func TestKeccakOpcode(t *testing.T) {
+	// keccak256 of empty region must equal the canonical empty hash.
+	var p asm.Program
+	p.PushUint(0).PushUint(0).Op(evm.KECCAK256)
+	out, err := runCode(t, returnTop(&p), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := etypes.Keccak(nil)
+	if etypes.HashFromWord(u256.FromBytes(out)) != want {
+		t.Errorf("keccak(empty) mismatch: %x", out)
+	}
+}
+
+func TestCalldataOpcodes(t *testing.T) {
+	// return calldatasize
+	var p asm.Program
+	p.Op(evm.CALLDATASIZE)
+	out, err := runCode(t, returnTop(&p), []byte{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u256.FromBytes(out); got.Uint64() != 5 {
+		t.Errorf("calldatasize = %s, want 5", got)
+	}
+
+	// calldatacopy whole input to memory and return it
+	var q asm.Program
+	q.Op(evm.CALLDATASIZE).PushUint(0).PushUint(0).Op(evm.CALLDATACOPY).
+		Op(evm.CALLDATASIZE).PushUint(0).Op(evm.RETURN)
+	input := []byte{0xde, 0xad, 0xbe, 0xef}
+	out, err = runCode(t, q.MustAssemble(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(input) {
+		t.Errorf("calldatacopy round trip = %x", out)
+	}
+}
+
+func TestEnvironmentOpcodes(t *testing.T) {
+	blk := evm.DefaultBlockContext()
+	cases := []struct {
+		name string
+		op   evm.Op
+		want u256.Int
+	}{
+		{"chainid", evm.CHAINID, blk.ChainID},
+		{"number", evm.NUMBER, u256.FromUint64(blk.Number)},
+		{"timestamp", evm.TIMESTAMP, u256.FromUint64(blk.Time)},
+		{"gaslimit", evm.GASLIMIT, u256.FromUint64(blk.GasLimit)},
+		{"basefee", evm.BASEFEE, blk.BaseFee},
+		{"coinbase", evm.COINBASE, blk.Coinbase.Word()},
+		{"caller", evm.CALLER, user.Word()},
+		{"address", evm.ADDRESS, addrA.Word()},
+		{"origin", evm.ORIGIN, user.Word()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var p asm.Program
+			p.Op(c.op)
+			st := newMemState()
+			st.code[addrA] = returnTop(&p)
+			e := evm.New(st, evm.Config{Block: blk, Tx: evm.TxContext{Origin: user}, Lenient: true})
+			res := e.Call(user, addrA, nil, testGas, u256.Zero())
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			if got := u256.FromBytes(res.Output); !got.Eq(c.want) {
+				t.Errorf("%s = %s, want %s", c.name, got, c.want)
+			}
+		})
+	}
+}
+
+func TestRevertRollsBackState(t *testing.T) {
+	// sstore(0,1) then revert: the write must not persist.
+	var p asm.Program
+	p.PushUint(1).PushUint(0).Op(evm.SSTORE).
+		PushUint(0).PushUint(0).Op(evm.REVERT)
+	st := newMemState()
+	st.code[addrA] = p.MustAssemble()
+	e := evm.New(st, evm.Config{Lenient: true})
+	res := e.Call(user, addrA, nil, testGas, u256.Zero())
+	if !errors.Is(res.Err, evm.ErrRevert) {
+		t.Fatalf("err = %v, want ErrRevert", res.Err)
+	}
+	if got := st.storage[addrA][etypes.Hash{}]; got != (etypes.Hash{}) {
+		t.Errorf("storage not rolled back: %s", got)
+	}
+	if res.GasLeft == 0 {
+		t.Error("revert must refund remaining gas")
+	}
+}
+
+func TestCallTransfersAndReturns(t *testing.T) {
+	// Callee returns 0x2a; caller calls it and returns the child's output.
+	var callee asm.Program
+	callee.PushUint(42)
+	calleeCode := returnTop(&callee)
+
+	var caller asm.Program
+	caller.PushUint(32).PushUint(0). // ret region
+						PushUint(0).PushUint(0). // args
+						PushUint(0).             // value
+						PushBytes(addrB[:]).     // to
+						PushUint(1_000_000).     // gas
+						Op(evm.CALL).
+						Op(evm.POP).
+						PushUint(32).PushUint(0).Op(evm.RETURN)
+
+	st := newMemState()
+	st.code[addrA] = caller.MustAssemble()
+	st.code[addrB] = calleeCode
+	e := evm.New(st, evm.Config{Lenient: true})
+	res := e.Call(user, addrA, nil, testGas, u256.Zero())
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if got := u256.FromBytes(res.Output); got.Uint64() != 42 {
+		t.Errorf("call output = %s, want 42", got)
+	}
+}
+
+func TestDelegateCallUsesCallerStorageAndIdentity(t *testing.T) {
+	// Logic at addrB: sstore(0, caller); proxy at addrA delegatecalls B.
+	// The write must land in A's storage, and CALLER inside B must be the
+	// original user, not A.
+	var logic asm.Program
+	logic.Op(evm.CALLER).PushUint(0).Op(evm.SSTORE).Op(evm.STOP)
+
+	var proxy asm.Program
+	proxy.PushUint(0).PushUint(0). // ret
+					PushUint(0).PushUint(0). // args
+					PushBytes(addrB[:]).
+					PushUint(1_000_000).
+					Op(evm.DELEGATECALL).
+					Op(evm.POP).Op(evm.STOP)
+
+	st := newMemState()
+	st.code[addrA] = proxy.MustAssemble()
+	st.code[addrB] = logic.MustAssemble()
+	e := evm.New(st, evm.Config{Lenient: true})
+	res := e.Call(user, addrA, nil, testGas, u256.Zero())
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if got := st.storage[addrA][etypes.Hash{}]; etypes.BytesToAddress(got[:]) != user {
+		t.Errorf("delegatecall stored %s in proxy, want original caller %s",
+			etypes.BytesToAddress(got[:]), user)
+	}
+	if len(st.storage[addrB]) != 0 {
+		t.Error("delegatecall must not touch logic contract storage")
+	}
+}
+
+func TestStaticCallBlocksWrites(t *testing.T) {
+	// Callee tries SSTORE; STATICCALL must report failure (push 0).
+	var callee asm.Program
+	callee.PushUint(1).PushUint(0).Op(evm.SSTORE)
+
+	var caller asm.Program
+	caller.PushUint(0).PushUint(0).
+		PushUint(0).PushUint(0).
+		PushBytes(addrB[:]).
+		PushUint(1_000_000).
+		Op(evm.STATICCALL)
+	code := returnTop(&caller)
+
+	st := newMemState()
+	st.code[addrA] = code
+	st.code[addrB] = callee.MustAssemble()
+	e := evm.New(st, evm.Config{Lenient: true})
+	res := e.Call(user, addrA, nil, testGas, u256.Zero())
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if got := u256.FromBytes(res.Output); !got.IsZero() {
+		t.Errorf("staticcall success flag = %s, want 0", got)
+	}
+	if len(st.storage[addrB]) != 0 {
+		t.Error("static write persisted")
+	}
+}
+
+func TestReturndataOpcodes(t *testing.T) {
+	// Callee returns 8 bytes; caller checks RETURNDATASIZE and copies it.
+	var callee asm.Program
+	callee.Push(u256.MustHex("0x1122334455667788")).PushUint(0).Op(evm.MSTORE).
+		PushUint(8).PushUint(24).Op(evm.RETURN) // return last 8 bytes of the word
+
+	var caller asm.Program
+	caller.PushUint(0).PushUint(0).
+		PushUint(0).PushUint(0).
+		PushUint(0). // value
+		PushBytes(addrB[:]).PushUint(1_000_000).
+		Op(evm.CALL).Op(evm.POP).
+		Op(evm.RETURNDATASIZE).PushUint(0).PushUint(0).Op(evm.RETURNDATACOPY).
+		Op(evm.RETURNDATASIZE).PushUint(0).Op(evm.RETURN)
+
+	st := newMemState()
+	st.code[addrA] = caller.MustAssemble()
+	st.code[addrB] = callee.MustAssemble()
+	e := evm.New(st, evm.Config{Lenient: true})
+	res := e.Call(user, addrA, nil, testGas, u256.Zero())
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	want := []byte{0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88}
+	if string(res.Output) != string(want) {
+		t.Errorf("returndata = %x, want %x", res.Output, want)
+	}
+}
+
+func TestCreateDeploysCode(t *testing.T) {
+	// Init code returns the 2-byte runtime {PUSH0, STOP} — stored as code.
+	runtime := []byte{byte(evm.PUSH0), byte(evm.STOP)}
+	var init asm.Program
+	init.PushBytes(runtime).PushUint(0).Op(evm.MSTORE). // left-padded at 30..31
+								PushUint(2).PushUint(30).Op(evm.RETURN)
+	initCode := init.MustAssemble()
+
+	var creator asm.Program
+	// Store init code into memory via CODECOPY of the trailing Raw data.
+	creator.PushUint(uint64(len(initCode))).PushLabel("data").PushUint(0).Op(evm.CODECOPY).
+		PushUint(uint64(len(initCode))).PushUint(0).PushUint(0).Op(evm.CREATE)
+	creator.PushUint(0).Op(evm.MSTORE).
+		PushUint(32).PushUint(0).Op(evm.RETURN).
+		DataLabel("data").Raw(initCode)
+
+	st := newMemState()
+	st.code[addrA] = creator.MustAssemble()
+	e := evm.New(st, evm.Config{Lenient: true})
+	res := e.Call(user, addrA, nil, testGas, u256.Zero())
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	created := etypes.AddressFromWord(u256.FromBytes(res.Output))
+	if created.IsZero() {
+		t.Fatal("CREATE returned zero address")
+	}
+	if got := st.code[created]; string(got) != string(runtime) {
+		t.Errorf("deployed code = %x, want %x", got, runtime)
+	}
+	// Address must match the CREATE derivation from addrA's pre-call nonce.
+	if want := etypes.CreateAddress(addrA, 0); created != want {
+		t.Errorf("created at %s, want %s", created, want)
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	// A contract that calls itself forever; must stop at the depth limit
+	// without an outer error (inner call failures push 0).
+	var p asm.Program
+	p.PushUint(0).PushUint(0).
+		PushUint(0).PushUint(0).
+		PushUint(0).
+		PushBytes(addrA[:]).
+		Op(evm.GAS).
+		Op(evm.CALL)
+	code := returnTop(&p)
+	st := newMemState()
+	st.code[addrA] = code
+	e := evm.New(st, evm.Config{StepLimit: 1 << 24, Lenient: true})
+	res := e.Call(user, addrA, nil, 1<<40, u256.Zero())
+	if res.Err != nil {
+		t.Fatalf("outer err = %v", res.Err)
+	}
+}
+
+func TestLogEmission(t *testing.T) {
+	// LOG1 pops offset, size, then the topic, so the topic is pushed first.
+	var good asm.Program
+	good.PushUint(0xabcd). // pushed first => popped last => topic
+				PushUint(0). // size
+				PushUint(0). // offset (top)
+				Op(evm.LOG0 + 1).Op(evm.STOP)
+	st := newMemState()
+	st.code[addrA] = good.MustAssemble()
+	e := evm.New(st, evm.Config{Lenient: true})
+	if res := e.Call(user, addrA, nil, testGas, u256.Zero()); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(st.logs) != 1 {
+		t.Fatalf("logs = %d, want 1", len(st.logs))
+	}
+	if got := st.logs[0].topics[0].Word(); got.Uint64() != 0xabcd {
+		t.Errorf("topic = %s", got)
+	}
+}
+
+func TestSelfDestruct(t *testing.T) {
+	var p asm.Program
+	p.PushBytes(addrB[:]).Op(evm.SELFDESTRUCT)
+	st := newMemState()
+	st.code[addrA] = p.MustAssemble()
+	st.balance[addrA] = u256.FromUint64(1000)
+	e := evm.New(st, evm.Config{Lenient: true})
+	if res := e.Call(user, addrA, nil, testGas, u256.Zero()); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if got := st.balance[addrB]; got.Uint64() != 1000 {
+		t.Errorf("beneficiary balance = %s, want 1000", got)
+	}
+	if len(st.code[addrA]) != 0 {
+		t.Error("destroyed contract still has code")
+	}
+}
+
+func TestPushTruncatedAtEndOfCode(t *testing.T) {
+	// PUSH32 with only 1 immediate byte available: zero-pads, then halts.
+	code := []byte{byte(evm.PUSH32), 0xff}
+	if _, err := runCode(t, code, nil); err != nil {
+		t.Fatalf("truncated push should halt cleanly, got %v", err)
+	}
+}
+
+func TestInvalidOpcode(t *testing.T) {
+	if _, err := runCode(t, []byte{0xef}, nil); !errors.Is(err, evm.ErrInvalidOpcode) {
+		t.Errorf("0xef err = %v", err)
+	}
+	if _, err := runCode(t, []byte{byte(evm.INVALID)}, nil); !errors.Is(err, evm.ErrInvalidOpcode) {
+		t.Errorf("INVALID err = %v", err)
+	}
+}

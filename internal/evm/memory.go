@@ -1,0 +1,82 @@
+package evm
+
+import "repro/internal/u256"
+
+// Memory is the transient byte-addressed memory of a call frame. It grows in
+// 32-byte words and is zero-initialized, matching EVM semantics.
+type Memory struct {
+	data []byte
+}
+
+// Len returns the current memory size in bytes (always a multiple of 32).
+func (m *Memory) Len() int { return len(m.data) }
+
+// expand grows memory so that [offset, offset+size) is addressable, rounding
+// the new size up to a 32-byte word boundary.
+func (m *Memory) expand(offset, size uint64) {
+	if size == 0 {
+		return
+	}
+	end := offset + size
+	if end <= uint64(len(m.data)) {
+		return
+	}
+	words := (end + 31) / 32
+	grown := make([]byte, words*32)
+	copy(grown, m.data)
+	m.data = grown
+}
+
+// SetByte writes a single byte at offset, expanding as needed.
+func (m *Memory) SetByte(offset uint64, b byte) {
+	m.expand(offset, 1)
+	m.data[offset] = b
+}
+
+// SetWord writes a 32-byte big-endian word at offset.
+func (m *Memory) SetWord(offset uint64, v u256.Int) {
+	m.expand(offset, 32)
+	buf := v.Bytes32()
+	copy(m.data[offset:offset+32], buf[:])
+}
+
+// GetWord reads a 32-byte big-endian word at offset, expanding as needed
+// (MLOAD expands memory even when reading).
+func (m *Memory) GetWord(offset uint64) u256.Int {
+	m.expand(offset, 32)
+	return u256.FromBytes(m.data[offset : offset+32])
+}
+
+// Set copies data into memory at offset, expanding as needed.
+func (m *Memory) Set(offset uint64, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	m.expand(offset, uint64(len(data)))
+	copy(m.data[offset:], data)
+}
+
+// Get returns a copy of size bytes at offset, expanding as needed.
+func (m *Memory) Get(offset, size uint64) []byte {
+	if size == 0 {
+		return nil
+	}
+	m.expand(offset, size)
+	out := make([]byte, size)
+	copy(out, m.data[offset:offset+size])
+	return out
+}
+
+// View returns the memory region without copying; callers must not retain it
+// across further writes. Used on hot paths (hashing, call argument slicing).
+func (m *Memory) View(offset, size uint64) []byte {
+	if size == 0 {
+		return nil
+	}
+	m.expand(offset, size)
+	return m.data[offset : offset+size]
+}
+
+// copyWithin implements MCOPY-style copying semantics used by *COPY opcodes:
+// writes data (which may be a zero-padded external source) at dst.
+func (m *Memory) copyWithin(dst uint64, src []byte) { m.Set(dst, src) }

@@ -1,0 +1,118 @@
+package evm_test
+
+import (
+	"repro/internal/etypes"
+	"repro/internal/evm"
+	"repro/internal/u256"
+)
+
+// memState is a minimal journaling StateDB for interpreter tests.
+type memState struct {
+	code     map[etypes.Address][]byte
+	storage  map[etypes.Address]map[etypes.Hash]etypes.Hash
+	balance  map[etypes.Address]u256.Int
+	nonce    map[etypes.Address]uint64
+	logs     []memLog
+	journal  []func()
+	revision int
+}
+
+type memLog struct {
+	addr   etypes.Address
+	topics []etypes.Hash
+	data   []byte
+}
+
+func newMemState() *memState {
+	return &memState{
+		code:    make(map[etypes.Address][]byte),
+		storage: make(map[etypes.Address]map[etypes.Hash]etypes.Hash),
+		balance: make(map[etypes.Address]u256.Int),
+		nonce:   make(map[etypes.Address]uint64),
+	}
+}
+
+var _ evm.StateDB = (*memState)(nil)
+
+func (s *memState) Exists(a etypes.Address) bool {
+	_, ok := s.code[a]
+	if !ok {
+		_, ok = s.nonce[a]
+	}
+	return ok
+}
+
+func (s *memState) GetCode(a etypes.Address) []byte { return s.code[a] }
+
+func (s *memState) GetCodeHash(a etypes.Address) etypes.Hash {
+	return etypes.Keccak(s.code[a])
+}
+
+func (s *memState) GetBalance(a etypes.Address) u256.Int { return s.balance[a] }
+
+func (s *memState) Transfer(from, to etypes.Address, v u256.Int) {
+	pf, pt := s.balance[from], s.balance[to]
+	s.journal = append(s.journal, func() { s.balance[from], s.balance[to] = pf, pt })
+	s.balance[from] = pf.Sub(v)
+	s.balance[to] = pt.Add(v)
+}
+
+func (s *memState) GetState(a etypes.Address, k etypes.Hash) etypes.Hash {
+	return s.storage[a][k]
+}
+
+func (s *memState) SetState(a etypes.Address, k, v etypes.Hash) {
+	m := s.storage[a]
+	if m == nil {
+		m = make(map[etypes.Hash]etypes.Hash)
+		s.storage[a] = m
+	}
+	prev := m[k]
+	s.journal = append(s.journal, func() { m[k] = prev })
+	m[k] = v
+}
+
+func (s *memState) GetNonce(a etypes.Address) uint64 { return s.nonce[a] }
+
+func (s *memState) SetNonce(a etypes.Address, n uint64) {
+	prev := s.nonce[a]
+	s.journal = append(s.journal, func() { s.nonce[a] = prev })
+	s.nonce[a] = n
+}
+
+func (s *memState) CreateAccount(a etypes.Address) {
+	if _, ok := s.nonce[a]; !ok {
+		s.journal = append(s.journal, func() { delete(s.nonce, a) })
+		s.nonce[a] = 0
+	}
+}
+
+func (s *memState) SetCode(a etypes.Address, code []byte) {
+	prev, had := s.code[a]
+	s.journal = append(s.journal, func() {
+		if had {
+			s.code[a] = prev
+		} else {
+			delete(s.code, a)
+		}
+	})
+	s.code[a] = code
+}
+
+func (s *memState) SelfDestruct(a, beneficiary etypes.Address) {
+	s.Transfer(a, beneficiary, s.balance[a])
+	s.SetCode(a, nil)
+}
+
+func (s *memState) Snapshot() int { return len(s.journal) }
+
+func (s *memState) RevertToSnapshot(rev int) {
+	for len(s.journal) > rev {
+		s.journal[len(s.journal)-1]()
+		s.journal = s.journal[:len(s.journal)-1]
+	}
+}
+
+func (s *memState) AddLog(a etypes.Address, topics []etypes.Hash, data []byte) {
+	s.logs = append(s.logs, memLog{addr: a, topics: topics, data: data})
+}

@@ -1,0 +1,47 @@
+package evm
+
+import (
+	"crypto/sha256"
+
+	"repro/internal/etypes"
+)
+
+// Precompiled contracts at the conventional low addresses. Only the two
+// whose primitives the standard library provides are implemented — SHA-256
+// (0x02) and the identity copy (0x04); they are the ones generated
+// contracts plausibly call. The remaining addresses behave like empty
+// accounts, which is also how an un-upgraded node treats unknown
+// precompiles.
+var (
+	precompileSHA256   = etypes.MustAddress("0x0000000000000000000000000000000000000002")
+	precompileIdentity = etypes.MustAddress("0x0000000000000000000000000000000000000004")
+)
+
+// precompile returns the implementation for addr, if any.
+func precompile(addr etypes.Address) (func(input []byte) []byte, uint64, bool) {
+	switch addr {
+	case precompileSHA256:
+		return func(input []byte) []byte {
+			sum := sha256.Sum256(input)
+			return sum[:]
+		}, 60, true
+	case precompileIdentity:
+		return func(input []byte) []byte {
+			out := make([]byte, len(input))
+			copy(out, input)
+			return out
+		}, 15, true
+	default:
+		return nil, 0, false
+	}
+}
+
+// runPrecompile executes a precompile call frame: fixed base cost plus a
+// per-word component, no code, no storage.
+func runPrecompile(fn func([]byte) []byte, base uint64, input []byte, gas uint64) CallResult {
+	cost := base + 12*wordCount(uint64(len(input)))
+	if gas < cost {
+		return CallResult{Err: ErrOutOfGas}
+	}
+	return CallResult{Output: fn(input), GasLeft: gas - cost}
+}

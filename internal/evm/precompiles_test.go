@@ -1,0 +1,77 @@
+package evm_test
+
+import (
+	"crypto/sha256"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/etypes"
+	"repro/internal/evm"
+	"repro/internal/u256"
+)
+
+// callPrecompile builds a caller that sends its call data to the given
+// precompile and returns the precompile's output.
+func callPrecompile(target etypes.Address) []byte {
+	var p asm.Program
+	p.Op(evm.CALLDATASIZE).PushUint(0).PushUint(0).Op(evm.CALLDATACOPY).
+		PushUint(64).PushUint(0). // ret region
+		Op(evm.CALLDATASIZE).PushUint(0).
+		PushUint(0). // value
+		PushBytes(target[:]).
+		PushUint(1_000_000).
+		Op(evm.CALL).Op(evm.POP).
+		Op(evm.RETURNDATASIZE).PushUint(0).PushUint(0).Op(evm.RETURNDATACOPY).
+		Op(evm.RETURNDATASIZE).PushUint(0).Op(evm.RETURN)
+	return p.MustAssemble()
+}
+
+func TestSHA256Precompile(t *testing.T) {
+	sha := etypes.MustAddress("0x0000000000000000000000000000000000000002")
+	st := newMemState()
+	st.code[addrA] = callPrecompile(sha)
+	input := []byte("proxy pattern")
+	res := evm.New(st, evm.Config{Lenient: true}).Call(user, addrA, input, testGas, u256.Zero())
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	want := sha256.Sum256(input)
+	if string(res.Output) != string(want[:]) {
+		t.Errorf("sha256 precompile = %x, want %x", res.Output, want)
+	}
+}
+
+func TestIdentityPrecompile(t *testing.T) {
+	id := etypes.MustAddress("0x0000000000000000000000000000000000000004")
+	st := newMemState()
+	st.code[addrA] = callPrecompile(id)
+	input := []byte{9, 8, 7, 6, 5}
+	res := evm.New(st, evm.Config{Lenient: true}).Call(user, addrA, input, testGas, u256.Zero())
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if string(res.Output) != string(input) {
+		t.Errorf("identity precompile = %x, want %x", res.Output, input)
+	}
+}
+
+func TestPrecompileOutOfGas(t *testing.T) {
+	// Direct outer call with too little gas.
+	sha := etypes.MustAddress("0x0000000000000000000000000000000000000002")
+	st := newMemState()
+	res := evm.New(st, evm.Config{Lenient: true}).Call(user, sha, make([]byte, 1024), 10, u256.Zero())
+	if res.Err == nil {
+		t.Error("precompile with starvation gas should fail")
+	}
+}
+
+func TestUnimplementedPrecompileActsEmpty(t *testing.T) {
+	// 0x03 (RIPEMD-160) is not implemented: calls succeed with no output,
+	// like any code-less account.
+	ripemd := etypes.MustAddress("0x0000000000000000000000000000000000000003")
+	st := newMemState()
+	res := evm.New(st, evm.Config{Lenient: true}).Call(user, ripemd, []byte{1}, testGas, u256.Zero())
+	if res.Err != nil || len(res.Output) != 0 {
+		t.Errorf("unimplemented precompile: out=%x err=%v", res.Output, res.Err)
+	}
+}

@@ -1,0 +1,56 @@
+package evm
+
+import "repro/internal/u256"
+
+// stackLimit is the maximum EVM stack depth.
+const stackLimit = 1024
+
+// Stack is the EVM operand stack of 256-bit words. The zero value is an
+// empty, ready-to-use stack.
+type Stack struct {
+	data []u256.Int
+}
+
+// Len returns the number of elements on the stack.
+func (s *Stack) Len() int { return len(s.data) }
+
+// Push appends v to the top of the stack. The interpreter checks for
+// overflow before invoking operations; Push itself does not.
+func (s *Stack) Push(v u256.Int) { s.data = append(s.data, v) }
+
+// Pop removes and returns the top element. The interpreter guarantees
+// sufficient depth before calling.
+func (s *Stack) Pop() u256.Int {
+	v := s.data[len(s.data)-1]
+	s.data = s.data[:len(s.data)-1]
+	return v
+}
+
+// Peek returns the n-th element from the top without removing it
+// (Peek(0) is the top). It returns zero if the stack is too shallow,
+// making it safe for tracers.
+func (s *Stack) Peek(n int) u256.Int {
+	if n < 0 || n >= len(s.data) {
+		return u256.Zero()
+	}
+	return s.data[len(s.data)-1-n]
+}
+
+// dup duplicates the n-th element from the top (1-based, per DUPn).
+func (s *Stack) dup(n int) {
+	s.data = append(s.data, s.data[len(s.data)-n])
+}
+
+// swap exchanges the top element with the n-th below it (1-based, per SWAPn).
+func (s *Stack) swap(n int) {
+	top := len(s.data) - 1
+	s.data[top], s.data[top-n] = s.data[top-n], s.data[top]
+}
+
+// Snapshot returns a copy of the stack contents, top last. Used by tracers
+// that need to record the full operand stack.
+func (s *Stack) Snapshot() []u256.Int {
+	out := make([]u256.Int, len(s.data))
+	copy(out, s.data)
+	return out
+}

@@ -1,0 +1,85 @@
+package evm_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/evm"
+	"repro/internal/u256"
+)
+
+func TestStructLoggerRecordsStepsAndCalls(t *testing.T) {
+	// Proxy at A delegatecalls B, which reverts.
+	var logic asm.Program
+	logic.PushUint(0).PushUint(0).Op(evm.REVERT)
+
+	var proxy asm.Program
+	proxy.PushUint(0).PushUint(0).
+		Op(evm.CALLDATASIZE).PushUint(0).
+		PushBytes(addrB[:]).
+		Op(evm.GAS).Op(evm.DELEGATECALL).Op(evm.POP).Op(evm.STOP)
+
+	st := newMemState()
+	st.code[addrA] = proxy.MustAssemble()
+	st.code[addrB] = logic.MustAssemble()
+
+	logger := &evm.StructLogger{}
+	e := evm.New(st, evm.Config{Tracer: logger, Lenient: true})
+	if res := e.Call(user, addrA, []byte{1, 2, 3, 4}, testGas, u256.Zero()); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+
+	logs := logger.Logs()
+	if len(logs) == 0 {
+		t.Fatal("no steps recorded")
+	}
+	var sawDelegate, sawDepth2 bool
+	for _, l := range logs {
+		if l.Op == evm.DELEGATECALL {
+			sawDelegate = true
+			if l.Depth != 1 {
+				t.Errorf("delegatecall at depth %d", l.Depth)
+			}
+		}
+		if l.Depth == 2 {
+			sawDepth2 = true
+			if l.Context != addrA {
+				t.Errorf("delegated frame context = %s, want proxy %s", l.Context, addrA)
+			}
+		}
+	}
+	if !sawDelegate || !sawDepth2 {
+		t.Errorf("trace incomplete: delegate=%v depth2=%v", sawDelegate, sawDepth2)
+	}
+
+	calls := logger.Calls()
+	if len(calls) != 2 {
+		t.Fatalf("calls = %d, want outer + delegate", len(calls))
+	}
+	if calls[0].Err != nil {
+		t.Errorf("outer call err = %v", calls[0].Err)
+	}
+	if calls[1].Kind != evm.CallKindDelegateCall || !errors.Is(calls[1].Err, evm.ErrRevert) {
+		t.Errorf("inner call = %+v", calls[1])
+	}
+
+	text := logger.Format()
+	if !strings.Contains(text, "DELEGATECALL") {
+		t.Error("formatted trace missing DELEGATECALL")
+	}
+}
+
+func TestStructLoggerBounded(t *testing.T) {
+	var spin asm.Program
+	spin.Label("x").Jump("x")
+	st := newMemState()
+	st.code[addrA] = spin.MustAssemble()
+	logger := &evm.StructLogger{MaxEntries: 10}
+	e := evm.New(st, evm.Config{Tracer: logger, StepLimit: 100_000, Lenient: true})
+	e.Call(user, addrA, nil, testGas, u256.Zero())
+	if got := len(logger.Logs()); got != 10 {
+		t.Errorf("bounded logger kept %d entries", got)
+	}
+}

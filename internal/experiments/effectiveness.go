@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/crush"
+	"repro/internal/dataset"
+	"repro/internal/etherscan"
+	"repro/internal/proxion"
+	"repro/internal/uschunt"
+)
+
+// EffectivenessSanctuary reproduces the Smart-Contract-Sanctuary comparison
+// (Section 6.2): on an all-source dataset, Proxion identifies more proxies
+// than USCHunt, whose compilation halts lose ~30% of contracts, and finds
+// function collisions USCHunt misses.
+func EffectivenessSanctuary(pop *dataset.Population) *Table {
+	det := proxion.NewDetector(pop.Chain)
+	hunt := uschunt.New(pop.Registry)
+
+	var examined, huntProxies, huntHalts, proxionProxies, proxionErrs int
+	var huntFuncCollisions, proxionFuncCollisions int
+
+	for _, l := range populationLabels(pop) {
+		if !l.HasSource {
+			continue // the Sanctuary dataset only holds verified contracts
+		}
+		examined++
+		verdict := hunt.DetectProxy(l.Address)
+		if verdict.Halted {
+			huntHalts++
+		}
+		if verdict.Detected {
+			huntProxies++
+			if len(hunt.FunctionCollisions(l.Address, l.Logic)) > 0 {
+				huntFuncCollisions++
+			}
+		}
+		rep := det.Check(l.Address)
+		if rep.EmulationErr != nil {
+			proxionErrs++
+		}
+		if rep.IsProxy {
+			proxionProxies++
+			pa := det.AnalyzePair(rep.Address, rep.Logic, pop.Registry)
+			if len(pa.Functions) > 0 {
+				proxionFuncCollisions++
+			}
+		}
+	}
+
+	t := &Table{
+		ID:     "Section 6.2a",
+		Title:  "Effectiveness on the Sanctuary-like (all-source) subset",
+		Header: []string{"metric", "USCHunt", "Proxion", "paper"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"contracts examined", itoa(examined), itoa(examined), "329,764"},
+		[]string{"analysis failures", itoa(huntHalts) + " (" + pct(huntHalts, examined) + ")",
+			itoa(proxionErrs) + " (" + pct(proxionErrs, examined) + ")", "~30% vs ~1.2%"},
+		[]string{"proxies identified", itoa(huntProxies), itoa(proxionProxies), "29,023 vs 35,924"},
+		[]string{"pairs with function collisions", itoa(huntFuncCollisions), itoa(proxionFuncCollisions),
+			"Proxion finds 257 collisions USCHunt misses"},
+	)
+	t.Notes = append(t.Notes,
+		"who-wins shape: Proxion > USCHunt on proxies found and collisions, far fewer failures")
+	return t
+}
+
+// EffectivenessCrush reproduces the CRUSH-dataset comparison (Section 6.2):
+// CRUSH over-counts by including library callers and under-counts by
+// missing transaction-less proxies; Proxion uncovers the hidden ones and
+// additional verified storage collisions.
+func EffectivenessCrush(pop *dataset.Population) *Table {
+	det := proxion.NewDetector(pop.Chain)
+	cr := crush.New(pop.Chain)
+
+	crushProxySet := make(map[string]bool)
+	for _, pair := range cr.IdentifyProxies() {
+		crushProxySet[pair.Proxy.Hex()] = true
+	}
+
+	var proxionProxies, crushOnly, proxionOnly, libraryFPs int
+	var proxionVerified, crushVerified int
+	for _, l := range populationLabels(pop) {
+		rep := det.Check(l.Address)
+		crushSays := crushProxySet[l.Address.Hex()]
+		if rep.IsProxy {
+			proxionProxies++
+			pa := det.AnalyzePair(rep.Address, rep.Logic, pop.Registry)
+			if pa.ExploitVerified {
+				proxionVerified++
+			}
+		}
+		if crushSays && !rep.IsProxy {
+			crushOnly++
+			if l.Kind == dataset.KindLibraryUser {
+				libraryFPs++
+			}
+		}
+		if rep.IsProxy && !crushSays {
+			proxionOnly++
+		}
+		if crushSays {
+			if _, verified := cr.StorageCollisions(l.Address, l.Logic); verified {
+				crushVerified++
+			}
+		}
+	}
+
+	t := &Table{
+		ID:     "Section 6.2b",
+		Title:  "Effectiveness on the CRUSH-like (mixed) dataset",
+		Header: []string{"metric", "measured", "paper"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"proxies found by Proxion", itoa(proxionProxies), "13,042,496 (of 53.6M)"},
+		[]string{"CRUSH-only classifications (library callers etc.)", itoa(crushOnly), "~1.2M more than Proxion"},
+		[]string{"  of which library-call false positives", itoa(libraryFPs), "the paper's stated cause"},
+		[]string{"hidden proxies only Proxion finds (no tx)", itoa(proxionOnly), "1,667,905"},
+		[]string{"verified storage-collision pairs (Proxion)", itoa(proxionVerified), "CRUSH 956 + 1,480 new by Proxion"},
+		[]string{"verified storage-collision pairs (CRUSH)", itoa(crushVerified), "956"},
+	)
+	t.Notes = append(t.Notes,
+		"shape: CRUSH over-includes library callers; Proxion alone sees transaction-less proxies")
+	return t
+}
+
+// RuntimeErrors reproduces the Section 7.1 robustness number: the share of
+// alive contracts the emulation analyzes without terminal EVM errors
+// (paper: 95.1%).
+func RuntimeErrors(pop *dataset.Population) *Table {
+	det := proxion.NewDetector(pop.Chain)
+	var total, errs int
+	errKinds := make(map[string]int)
+	for _, l := range populationLabels(pop) {
+		total++
+		rep := det.Check(l.Address)
+		if rep.EmulationErr != nil {
+			errs++
+			errKinds[rep.EmulationErr.Error()]++
+		}
+	}
+	t := &Table{
+		ID:     "Section 7.1",
+		Title:  "Emulation robustness over the landscape",
+		Header: []string{"metric", "measured", "paper"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"contracts analyzed", itoa(total), "36M"},
+		[]string{"clean analyses", pct(total-errs, total), "95.1%"},
+		[]string{"terminal EVM errors", itoa(errs) + " (" + pct(errs, total) + ")", "4.9%"},
+	)
+	for msg, n := range errKinds {
+		t.Rows = append(t.Rows, []string{"  " + msg, itoa(n), ""})
+	}
+	return t
+}
+
+// EtherscanVerifierFPs quantifies the explorer heuristic's imprecision
+// (Section 9.1): DELEGATECALL presence vs the ground truth.
+func EtherscanVerifierFPs(pop *dataset.Population) *Table {
+	var conf Confusion
+	for _, l := range populationLabels(pop) {
+		code := pop.Chain.Code(l.Address)
+		conf.record(etherscan.VerifierIsProxy(code), l.IsProxy)
+	}
+	t := &Table{
+		ID:     "Section 9.1",
+		Title:  "Etherscan verifier heuristic (DELEGATECALL presence) vs ground truth",
+		Header: []string{"TP", "FP", "TN", "FN", "accuracy"},
+	}
+	t.Rows = append(t.Rows, []string{
+		itoa(conf.TP), itoa(conf.FP), itoa(conf.TN), itoa(conf.FN),
+		pct(conf.TP+conf.TN, conf.TP+conf.FP+conf.TN+conf.FN),
+	})
+	t.Notes = append(t.Notes, "the false positives are library callers, as Etherscan acknowledges")
+	return t
+}
+
+// hiddenProxies counts detector-confirmed proxies with neither source nor
+// transactions — the paper's 1.5M headline.
+func HiddenProxies(pop *dataset.Population, res *proxion.Result) *Table {
+	var hidden, totalProxies int
+	for _, rep := range res.Proxies() {
+		totalProxies++
+		l := pop.ByAddr[rep.Address]
+		if l != nil && !l.HasSource && !l.HasTx {
+			hidden++
+		}
+	}
+	t := &Table{
+		ID:     "Section 7.2",
+		Title:  "Hidden proxies (no source, no transactions)",
+		Header: []string{"metric", "measured", "paper"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"proxies detected", itoa(totalProxies), "19,599,317 (54.2%)"},
+		[]string{"hidden among them", fmt.Sprintf("%d (%s)", hidden, pct(hidden, totalProxies)), "~1.5M (~7.7%)"},
+	)
+	return t
+}

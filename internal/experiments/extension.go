@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"repro/internal/chain"
+	"repro/internal/dataset"
+	"repro/internal/proxion"
+	"repro/internal/salehi"
+)
+
+// ExtensionDiamond measures the Section 8.2 future-work implementation:
+// history-assisted detection of EIP-2535 diamonds. The base pipeline misses
+// every diamond (random probe data cannot hit a registered facet); the
+// extension recovers those with past transactions by reusing observed
+// selectors as probes.
+func ExtensionDiamond(pop *dataset.Population) *Table {
+	det := proxion.NewDetector(pop.Chain)
+
+	var diamonds, withTx, baseHits, extHits int
+	for _, l := range populationLabels(pop) {
+		if l.Kind != dataset.KindDiamond {
+			continue
+		}
+		diamonds++
+		if l.HasTx {
+			withTx++
+		}
+		if det.Check(l.Address).IsProxy {
+			baseHits++
+		}
+		if rep := det.CheckWithHistory(l.Address); rep.IsProxy {
+			extHits++
+			if rep.Standard != proxion.StandardEIP2535 {
+				// Mis-classification would silently corrupt Table 4.
+				extHits--
+			}
+		}
+	}
+	t := &Table{
+		ID:     "Section 8.2",
+		Title:  "Future work implemented: history-assisted diamond detection",
+		Header: []string{"metric", "value"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"diamonds deployed", itoa(diamonds)},
+		[]string{"  with past transactions", itoa(withTx)},
+		[]string{"detected by base pipeline", itoa(baseHits) + " (the paper's documented miss)"},
+		[]string{"detected with history-assisted probes", itoa(extHits)},
+	)
+	t.Notes = append(t.Notes,
+		"transaction-less diamonds remain out of reach: there is no selector to mine")
+	return t
+}
+
+// UpgradeAuthority surveys the landscape with the Salehi-style analysis:
+// of the proxies visible to transaction replay, how many are upgradeable,
+// who controls them, and how many upgrade paths are entirely unprotected.
+// This reproduces the related work's research question (Section 9.1) on the
+// same substrate, for comparison with Proxion's coverage.
+func UpgradeAuthority(pop *dataset.Population) *Table {
+	sal := salehi.New(pop.Chain)
+	det := proxion.NewDetector(pop.Chain)
+
+	var visible, upgradeable, guarded, unprotected, frozen int
+	for _, l := range populationLabels(pop) {
+		if !l.IsProxy || !sal.IsProxy(l.Address) {
+			continue
+		}
+		rep := det.Check(l.Address)
+		if !rep.IsProxy {
+			continue
+		}
+		visible++
+		auth, ok := sal.WhoCanUpgrade(l.Address, rep.ImplSlot)
+		if !ok {
+			continue
+		}
+		switch {
+		case !auth.Upgradeable:
+			frozen++
+		case auth.Unprotected:
+			upgradeable++
+			unprotected++
+		default:
+			upgradeable++
+			guarded++
+		}
+	}
+	t := &Table{
+		ID:     "Section 9.1",
+		Title:  "Salehi-style upgrade-authority survey (replay-visible proxies)",
+		Header: []string{"metric", "value"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"proxies visible to replay", itoa(visible)},
+		[]string{"not upgradeable (fixed logic)", itoa(frozen)},
+		[]string{"upgradeable, owner-gated", itoa(guarded)},
+		[]string{"upgradeable, UNPROTECTED", itoa(unprotected)},
+	)
+	t.Notes = append(t.Notes,
+		"transaction-less proxies are invisible here; Proxion's coverage gap over this tool")
+	return t
+}
+
+// network is one simulated EVM chain in the multi-chain sweep.
+type network struct {
+	cfg  chain.Config
+	seed int64
+	size int
+}
+
+// MultiChain implements the paper's other future-work direction (Section
+// 8.2): applying Proxion beyond Ethereum. Because proxy EIPs and compiler
+// idioms are identical on every EVM network, the analyzer runs unchanged;
+// each simulated chain gets its own seed and scale to mimic differing
+// ecosystem sizes.
+func MultiChain(baseSeed int64, perChain int) *Table {
+	networks := []network{
+		{chain.Config{Name: "ethereum", ChainID: 1, BlockInterval: 12, GenesisTime: 1_438_269_973}, baseSeed, perChain},
+		{chain.Config{Name: "arbitrum", ChainID: 42161, BlockInterval: 1, GenesisTime: 1_622_243_344}, baseSeed + 1, perChain / 2},
+		{chain.Config{Name: "bsc", ChainID: 56, BlockInterval: 3, GenesisTime: 1_598_671_449}, baseSeed + 2, perChain},
+		{chain.Config{Name: "polygon", ChainID: 137, BlockInterval: 2, GenesisTime: 1_590_824_836}, baseSeed + 3, perChain * 3 / 4},
+		{chain.Config{Name: "optimism", ChainID: 10, BlockInterval: 2, GenesisTime: 1_636_665_386}, baseSeed + 4, perChain / 3},
+	}
+	t := &Table{
+		ID:     "Section 8.2 (multi-chain)",
+		Title:  "Future work implemented: the same analyzer across EVM networks",
+		Header: []string{"network", "chain id", "contracts", "proxies", "share", "verified exploits"},
+	}
+	for _, n := range networks {
+		pop := dataset.Generate(dataset.Config{Seed: n.seed, Contracts: n.size, Network: n.cfg})
+		det := proxion.NewDetector(pop.Chain)
+		res := det.AnalyzeAll(pop.Registry)
+		s := proxion.Summarize(res)
+		t.Rows = append(t.Rows, []string{
+			n.cfg.Name,
+			itoa(int(n.cfg.ChainID)),
+			itoa(s.Contracts),
+			itoa(s.Proxies),
+			pct(s.Proxies, s.Contracts),
+			itoa(s.VerifiedExploits),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"chain id flows through the CHAINID opcode during emulation; no analyzer changes were needed")
+	return t
+}

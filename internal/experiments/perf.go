@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/disasm"
+	"repro/internal/etypes"
+	"repro/internal/proxion"
+)
+
+// Performance reproduces the Section 6.1 throughput measurements: time per
+// proxy check, contracts per second, archive calls per proxy for logic
+// history, and per-pair collision timings.
+func Performance(pop *dataset.Population) *Table {
+	det := proxion.NewDetector(pop.Chain)
+	labels := populationLabels(pop)
+
+	// Proxy checks over the whole population.
+	start := time.Now()
+	var proxies []proxion.Report
+	for _, l := range labels {
+		if rep := det.Check(l.Address); rep.IsProxy {
+			proxies = append(proxies, rep)
+		}
+	}
+	checkDur := time.Since(start)
+	perCheck := checkDur / time.Duration(len(labels))
+	perSec := float64(len(labels)) / checkDur.Seconds()
+
+	// Logic-history recovery: average getStorageAt calls per storage proxy.
+	pop.Chain.ResetAPICalls()
+	storageProxies := 0
+	for _, rep := range proxies {
+		if rep.Target == proxion.TargetStorage {
+			det.LogicHistory(rep.Address, rep.ImplSlot)
+			storageProxies++
+		}
+	}
+	avgCalls := 0.0
+	if storageProxies > 0 {
+		avgCalls = float64(pop.Chain.APICalls()) / float64(storageProxies)
+	}
+
+	// Function-collision timing per pair.
+	start = time.Now()
+	funcPairs := 0
+	for _, rep := range proxies {
+		det.AnalyzePair(rep.Address, rep.Logic, pop.Registry)
+		funcPairs++
+	}
+	pairDur := time.Since(start)
+	perPair := time.Duration(0)
+	if funcPairs > 0 {
+		perPair = pairDur / time.Duration(funcPairs)
+	}
+
+	t := &Table{
+		ID:     "Section 6.1",
+		Title:  "Performance on a commodity machine",
+		Header: []string{"metric", "measured", "paper"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"proxy check latency", perCheck.String(), "6.4 ms"},
+		[]string{"proxy checks per second", fmt.Sprintf("%.1f", perSec), "156.3"},
+		[]string{"getStorageAt calls per proxy (Algorithm 1)", fmt.Sprintf("%.1f", avgCalls), "26"},
+		[]string{"collision analysis per pair", perPair.String(), "6.7 ms (function)"},
+		[]string{"contracts analyzed", itoa(len(labels)), "36M in ~65h"},
+	)
+	t.Notes = append(t.Notes,
+		"absolute times differ from the paper's hardware; the throughput order of magnitude is the target",
+		fmt.Sprintf("chain height %d blocks (mainnet: ~18.5M, scaled)", pop.Chain.CurrentBlock()))
+	return t
+}
+
+// AblationDisasmFilter quantifies design choice 1: the cheap DELEGATECALL
+// opcode scan before emulation.
+func AblationDisasmFilter(pop *dataset.Population) *Table {
+	det := proxion.NewDetector(pop.Chain)
+	labels := populationLabels(pop)
+
+	start := time.Now()
+	for _, l := range labels {
+		det.Check(l.Address)
+	}
+	withFilter := time.Since(start)
+
+	// Filter-only pass, to show what each rejection saves.
+	start = time.Now()
+	rejected := 0
+	for _, l := range labels {
+		code := pop.Chain.Code(l.Address)
+		if !disasm.ContainsOp(code, 0xf4) {
+			rejected++
+		}
+	}
+	filterOnly := time.Since(start)
+
+	t := &Table{
+		ID:     "Ablation 1",
+		Title:  "Two-step detection: disassembly filter before emulation",
+		Header: []string{"metric", "value"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"full pipeline over population", withFilter.String()},
+		[]string{"filter-only pass", filterOnly.String()},
+		[]string{"contracts rejected without emulation", fmt.Sprintf("%d / %d (%s)",
+			rejected, len(labels), pct(rejected, len(labels)))},
+	)
+	t.Notes = append(t.Notes,
+		"every rejected contract saves a full EVM emulation; the filter pass is orders of magnitude cheaper")
+	return t
+}
+
+// AblationSelectorChoice quantifies design choice 2: crafting call data
+// that avoids every PUSH4 candidate. The ablation probes every contract
+// with a fixed, frequently-implemented selector instead.
+func AblationSelectorChoice(pop *dataset.Population) *Table {
+	det := proxion.NewDetector(pop.Chain)
+
+	// proxyType() is implemented by the OwnableDelegateProxy clones: a
+	// fixed probe using it executes that function instead of the fallback.
+	fixed := make([]byte, 36)
+	sel := etypes.Keccak([]byte("proxyType()"))
+	copy(fixed, sel[:4])
+
+	var truth, detectedCrafted, detectedFixed int
+	for _, l := range populationLabels(pop) {
+		if !l.IsProxy {
+			continue
+		}
+		truth++
+		if det.Check(l.Address).IsProxy {
+			detectedCrafted++
+		}
+		if det.CheckWithCallData(l.Address, fixed).IsProxy {
+			detectedFixed++
+		}
+	}
+	t := &Table{
+		ID:     "Ablation 2",
+		Title:  "Crafted (PUSH4-avoiding) call data vs a fixed probe selector",
+		Header: []string{"probe", "true proxies detected", "recall"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"crafted (Proxion)", itoa(detectedCrafted), pct(detectedCrafted, truth)},
+		[]string{"fixed proxyType()", itoa(detectedFixed), pct(detectedFixed, truth)},
+	)
+	t.Notes = append(t.Notes,
+		"a fixed selector silently skips every proxy that implements it: the fallback is never reached")
+	return t
+}
+
+// AblationHistorySearch quantifies design choice 3: Algorithm 1's binary
+// search vs querying every block.
+func AblationHistorySearch(pop *dataset.Population) *Table {
+	det := proxion.NewDetector(pop.Chain)
+	var proxies []proxion.Report
+	for _, l := range populationLabels(pop) {
+		if !l.IsProxy || l.ImplSlot == (etypes.Hash{}) {
+			continue
+		}
+		if rep := det.Check(l.Address); rep.IsProxy && rep.Target == proxion.TargetStorage {
+			proxies = append(proxies, rep)
+			if len(proxies) >= 25 {
+				break
+			}
+		}
+	}
+	pop.Chain.ResetAPICalls()
+	for _, rep := range proxies {
+		det.LogicHistory(rep.Address, rep.ImplSlot)
+	}
+	binaryCalls := pop.Chain.APICalls()
+
+	pop.Chain.ResetAPICalls()
+	for _, rep := range proxies {
+		det.NaiveLogicHistory(rep.Address, rep.ImplSlot)
+	}
+	naiveCalls := pop.Chain.APICalls()
+
+	t := &Table{
+		ID:     "Ablation 3",
+		Title:  "Algorithm 1 binary search vs naive per-block archive scan",
+		Header: []string{"method", "getStorageAt calls", "per proxy"},
+	}
+	n := len(proxies)
+	t.Rows = append(t.Rows,
+		[]string{"binary search (Algorithm 1)", fmt.Sprintf("%d", binaryCalls),
+			fmt.Sprintf("%.1f", float64(binaryCalls)/float64(max(n, 1)))},
+		[]string{"naive scan", fmt.Sprintf("%d", naiveCalls),
+			fmt.Sprintf("%.1f", float64(naiveCalls)/float64(max(n, 1)))},
+	)
+	t.Notes = append(t.Notes,
+		"the paper reports ~26 calls per proxy against 15M blocks vs millions for the naive scan")
+	return t
+}
+
+// AblationNaivePush4 quantifies design choice 4: dispatcher-pattern
+// selector extraction vs treating every PUSH4 immediate as a signature.
+func AblationNaivePush4(pop *dataset.Population) *Table {
+	var contractsWithData, naiveOver, total int
+	for _, l := range populationLabels(pop) {
+		code := pop.Chain.Code(l.Address)
+		naive := len(disasm.Push4Candidates(code))
+		precise := len(disasm.DispatcherSelectors(code))
+		if naive == 0 {
+			continue
+		}
+		total++
+		if naive > precise {
+			contractsWithData++
+			naiveOver += naive - precise
+		}
+	}
+	t := &Table{
+		ID:     "Ablation 4",
+		Title:  "Dispatcher-pattern signatures vs naive any-PUSH4 extraction",
+		Header: []string{"metric", "value"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"contracts with PUSH4 immediates", itoa(total)},
+		[]string{"contracts where naive over-extracts", itoa(contractsWithData)},
+		[]string{"spurious signatures avoided", itoa(naiveOver)},
+	)
+	t.Notes = append(t.Notes,
+		"each spurious 4-byte value risks a false function collision (Section 3.1)")
+	return t
+}
+
+// AblationDedup quantifies design choice 5: bytecode-hash deduplication of
+// collision analyses.
+func AblationDedup(pop *dataset.Population) *Table {
+	res := proxion.NewDetector(pop.Chain).AnalyzeAll(pop.Registry)
+
+	// With dedup: one shared detector whose caches persist across pairs.
+	shared := proxion.NewDetector(pop.Chain)
+	start := time.Now()
+	for _, pa := range res.Pairs {
+		shared.AnalyzePair(pa.Proxy, pa.Logic, pop.Registry)
+	}
+	withCache := time.Since(start)
+
+	// Without: a fresh detector per pair (cold caches every time).
+	start = time.Now()
+	for _, pa := range res.Pairs {
+		proxion.NewDetector(pop.Chain).AnalyzePair(pa.Proxy, pa.Logic, pop.Registry)
+	}
+	withoutCache := time.Since(start)
+
+	t := &Table{
+		ID:     "Ablation 5",
+		Title:  "Bytecode-hash deduplication of collision analysis",
+		Header: []string{"mode", "total time", "per pair"},
+	}
+	n := len(res.Pairs)
+	t.Rows = append(t.Rows,
+		[]string{"cached by code hash", withCache.String(), (withCache / time.Duration(max(n, 1))).String()},
+		[]string{"cold per pair", withoutCache.String(), (withoutCache / time.Duration(max(n, 1))).String()},
+	)
+	t.Notes = append(t.Notes,
+		"the paper's 48-day storage sweep is only feasible because duplicates are analyzed once (Section 6.1)")
+	return t
+}

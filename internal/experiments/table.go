@@ -1,0 +1,104 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (Sections 6 and 7) against the synthetic landscape. Each
+// experiment returns a Table whose rows mirror the paper's presentation,
+// with the paper's reported values carried alongside for the
+// paper-vs-measured record in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the paper artifact this reproduces, e.g. "Table 2" or "Figure 5".
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows hold the measured (and, where applicable, paper-reported) values.
+	Rows [][]string
+	// Notes carry caveats: scaling, substitutions, deviations.
+	Notes []string
+}
+
+// Render formats the table as aligned plain text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// pct formats a ratio as a percentage.
+func pct(num, den int) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}
+
+// itoa is shorthand for int formatting in row literals.
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+// CSV renders the table as comma-separated values for external plotting
+// (the paper's figures are charts; the CSV carries the same series).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Header)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, cell := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(cell, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(cell, "\"", "\"\""))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(cell)
+		}
+	}
+	b.WriteByte('\n')
+}

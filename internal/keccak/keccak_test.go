@@ -1,0 +1,114 @@
+package keccak
+
+import (
+	"bytes"
+	"encoding/hex"
+	"strings"
+	"testing"
+)
+
+func hexDigest(t *testing.T, data []byte) string {
+	t.Helper()
+	sum := Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+func TestKnownVectors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"empty", "", "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"},
+		{"abc", "abc", "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"},
+		{
+			"eip1967 preimage",
+			"eip1967.proxy.implementation",
+			// keccak("eip1967.proxy.implementation"); the EIP-1967 slot is
+			// this value minus one.
+			"360894a13ba1a3210667c828492db98dca3e2076cc3735a920a3ca505d382bbd",
+		},
+		{
+			"eip1822 proxiable",
+			"PROXIABLE",
+			"c5f16f0fcc639fa48a6947836d9850f504798523bf8c9a3a87d5876cf622bcf7",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := hexDigest(t, []byte(c.in)); got != c.want {
+				t.Errorf("Keccak256(%q) = %s, want %s", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestSelectors(t *testing.T) {
+	cases := []struct {
+		proto string
+		want  string
+	}{
+		// ERC-20 canonical selectors.
+		{"transfer(address,uint256)", "a9059cbb"},
+		{"balanceOf(address)", "70a08231"},
+		{"approve(address,uint256)", "095ea7b3"},
+		// The paper's running example (Section 2.1): the selector of
+		// free_ether_withdrawal() is 0xdf4a3106.
+		{"free_ether_withdrawal()", "df4a3106"},
+	}
+	for _, c := range cases {
+		sel := Selector(c.proto)
+		if got := hex.EncodeToString(sel[:]); got != c.want {
+			t.Errorf("Selector(%q) = %s, want %s", c.proto, got, c.want)
+		}
+	}
+}
+
+func TestMultiBlockInputs(t *testing.T) {
+	// Exercise block boundaries around the 136-byte rate.
+	for _, n := range []int{rate - 1, rate, rate + 1, 2 * rate, 3*rate + 7} {
+		in := bytes.Repeat([]byte{0xa5}, n)
+		sum1 := Sum256(in)
+		sum2 := Sum256(in)
+		if sum1 != sum2 {
+			t.Fatalf("non-deterministic digest at length %d", n)
+		}
+		if sum1 == [32]byte{} {
+			t.Fatalf("zero digest at length %d", n)
+		}
+	}
+	// A long vector cross-checked against an independent Keccak-256
+	// implementation (exercises the full-block absorb path).
+	long := strings.Repeat("0123456789", 20) // 200 bytes, > 1 block
+	want := "bebf7feb66ec4249f26ba898cab15d2eaf14ba4623b962a61eec09afde36ed67"
+	if got := hexDigest(t, []byte(long)); got != want {
+		t.Errorf("long vector = %s, want %s", got, want)
+	}
+}
+
+func TestDistinctInputsDistinctDigests(t *testing.T) {
+	seen := make(map[[32]byte]string)
+	for _, s := range []string{"", "a", "b", "ab", "ba", "proxy", "logic"} {
+		d := Sum256([]byte(s))
+		if prev, ok := seen[d]; ok {
+			t.Fatalf("collision between %q and %q", prev, s)
+		}
+		seen[d] = s
+	}
+}
+
+func BenchmarkSum256Short(b *testing.B) {
+	data := []byte("transfer(address,uint256)")
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}
+
+func BenchmarkSum256Block(b *testing.B) {
+	data := bytes.Repeat([]byte{0x5a}, 1024)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Sum256(data)
+	}
+}

@@ -1,0 +1,47 @@
+package proxion
+
+import (
+	"repro/internal/etypes"
+)
+
+// StandardEIP2535 marks diamonds detected by the history-assisted extension.
+// The base pipeline cannot see them (Section 8.1): a diamond forwards only
+// selectors registered in its facet mapping, so random probe data reverts
+// before any DELEGATECALL executes.
+const StandardEIP2535 Standard = 100
+
+// CheckWithHistory implements the paper's proposed future work (Section
+// 8.2): when the standard random-probe emulation does not observe
+// forwarding but the bytecode contains DELEGATECALL, retry the emulation
+// with call data built from the function selectors observed in the
+// contract's past transactions — for a diamond, any registered facet
+// selector opens the forwarding path.
+//
+// The extension strictly widens coverage: contracts the base pipeline
+// already classifies are returned unchanged.
+func (d *Detector) CheckWithHistory(addr etypes.Address) Report {
+	rep := d.Check(addr)
+	if rep.IsProxy || !rep.HasDelegateCall {
+		return rep
+	}
+	for _, sel := range d.chain.TxSelectors(addr) {
+		probe := historyProbe(addr, sel)
+		r := d.CheckWithCallData(addr, probe)
+		if !r.IsProxy {
+			continue
+		}
+		// Selector-dependent forwarding is the diamond behaviour: the base
+		// probe failed, a registered selector succeeded.
+		r.Standard = StandardEIP2535
+		return r
+	}
+	return rep
+}
+
+// historyProbe builds probe call data carrying a known selector plus the
+// recognizable payload used to confirm byte-for-byte forwarding.
+func historyProbe(addr etypes.Address, sel [4]byte) []byte {
+	base := CraftCallData(addr, nil)
+	copy(base[:4], sel[:])
+	return base
+}

@@ -1,0 +1,107 @@
+package proxion_test
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/chain"
+	"repro/internal/etypes"
+	"repro/internal/proxion"
+	"repro/internal/solc"
+	"repro/internal/u256"
+)
+
+// deployDiamond installs an EIP-2535 diamond with one registered facet and
+// optionally a past transaction exercising it.
+func deployDiamond(t *testing.T, withTx bool) (*chain.Chain, etypes.Address, etypes.Address, [4]byte) {
+	t.Helper()
+	c := chain.New()
+	facet := &solc.Contract{
+		Name: "Facet",
+		Funcs: []solc.Func{{
+			ABI:  abi.Function{Name: "facets"},
+			Body: []solc.Stmt{solc.ReturnConst{Value: u256.FromUint64(1)}},
+		}},
+	}
+	facetAddr := etypes.MustAddress("0x0000000000000000000000000000000000004101")
+	c.InstallContract(facetAddr, solc.MustCompile(facet))
+
+	baseSlot := etypes.Keccak([]byte("diamond.standard.diamond.storage"))
+	diamond := &solc.Contract{
+		Name:     "Diamond",
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateDiamond, Slot: baseSlot},
+	}
+	dAddr := etypes.MustAddress("0x0000000000000000000000000000000000004102")
+	c.InstallContract(dAddr, solc.MustCompile(diamond))
+
+	sel := facet.Funcs[0].ABI.Selector()
+	selWord := u256.FromBytes(sel[:]).Bytes32()
+	pre := make([]byte, 64)
+	copy(pre[:32], selWord[:])
+	copy(pre[32:], baseSlot[:])
+	c.SetStorageDirect(dAddr, etypes.Keccak(pre), etypes.HashFromWord(facetAddr.Word()))
+
+	if withTx {
+		sender := etypes.MustAddress("0x0000000000000000000000000000000000004100")
+		rc := c.Execute(sender, dAddr, abi.EncodeCall(sel), 0, u256.Zero())
+		if !rc.Status {
+			t.Fatalf("facet call failed: %v", rc.Err)
+		}
+	}
+	return c, dAddr, facetAddr, sel
+}
+
+func TestCheckWithHistoryDetectsDiamond(t *testing.T) {
+	c, dAddr, facetAddr, _ := deployDiamond(t, true)
+	d := proxion.NewDetector(c)
+
+	// The base pipeline misses the diamond, as the paper documents.
+	if rep := d.Check(dAddr); rep.IsProxy {
+		t.Fatal("base pipeline should miss the diamond")
+	}
+	// The history-assisted extension finds it via the transacted selector.
+	rep := d.CheckWithHistory(dAddr)
+	if !rep.IsProxy {
+		t.Fatal("extension failed to detect the diamond")
+	}
+	if rep.Standard != proxion.StandardEIP2535 {
+		t.Errorf("standard = %s, want EIP-2535", rep.Standard)
+	}
+	if rep.Logic != facetAddr {
+		t.Errorf("facet = %s, want %s", rep.Logic, facetAddr)
+	}
+}
+
+func TestCheckWithHistoryNoTransactions(t *testing.T) {
+	c, dAddr, _, _ := deployDiamond(t, false)
+	d := proxion.NewDetector(c)
+	if rep := d.CheckWithHistory(dAddr); rep.IsProxy {
+		t.Error("diamond without transactions must remain undetectable (no selectors to mine)")
+	}
+}
+
+func TestCheckWithHistoryUnchangedForOrdinaryContracts(t *testing.T) {
+	// A standard proxy: the extension must return the same verdict as the
+	// base pipeline without extra emulations changing the classification.
+	implSlot := etypes.HashFromWord(u256.FromUint64(7))
+	c := newChainWithPair(t, implSlot)
+	d := proxion.NewDetector(c)
+	base := d.Check(proxyAt)
+	ext := d.CheckWithHistory(proxyAt)
+	if base != ext {
+		t.Errorf("extension altered a base verdict: %+v vs %+v", base, ext)
+	}
+	// And a plain non-proxy with transactions stays negative.
+	plainAddr := etypes.MustAddress("0x0000000000000000000000000000000000004200")
+	plain := &solc.Contract{
+		Name: "Plain",
+		Funcs: []solc.Func{{ABI: abi.Function{Name: "x"},
+			Body: []solc.Stmt{solc.ReturnConst{Value: u256.One()}}}},
+	}
+	c.InstallContract(plainAddr, solc.MustCompile(plain))
+	sender := etypes.MustAddress("0x0000000000000000000000000000000000004201")
+	c.Execute(sender, plainAddr, abi.EncodeCall(abi.SelectorOf("x()")), 0, u256.Zero())
+	if rep := d.CheckWithHistory(plainAddr); rep.IsProxy {
+		t.Error("plain contract detected by extension")
+	}
+}

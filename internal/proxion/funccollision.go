@@ -1,0 +1,153 @@
+package proxion
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/disasm"
+	"repro/internal/etypes"
+	"repro/internal/solc"
+)
+
+// FunctionCollision is a selector shared by a proxy and its logic contract:
+// call data carrying it executes the proxy's function and can never reach
+// the logic's (Section 2.3).
+type FunctionCollision struct {
+	Selector [4]byte
+	// ProxyProto and LogicProto are the colliding prototypes when source
+	// is available; empty for bytecode-only contracts, where only the
+	// 4-byte selector is recoverable.
+	ProxyProto string
+	LogicProto string
+}
+
+// FunctionCollisionsSource intersects the declared function signatures of
+// two contracts with available source code — the Slither-style path
+// (Section 5.1).
+func FunctionCollisionsSource(proxy, logic *solc.Contract) []FunctionCollision {
+	logicBySel := make(map[[4]byte]string)
+	for _, proto := range logic.Prototypes() {
+		logicBySel[selectorOf(proto)] = proto
+	}
+	var out []FunctionCollision
+	for _, proto := range proxy.Prototypes() {
+		sel := selectorOf(proto)
+		if lp, ok := logicBySel[sel]; ok {
+			out = append(out, FunctionCollision{Selector: sel, ProxyProto: proto, LogicProto: lp})
+		}
+	}
+	sortCollisions(out)
+	return out
+}
+
+// FunctionCollisionsBytecode cross-checks the dispatcher-extracted
+// signatures of two bytecode-only contracts — the capability no prior tool
+// had (Table 1). Dispatcher-pattern extraction avoids the false positives
+// of treating every PUSH4 immediate as a signature.
+func FunctionCollisionsBytecode(proxyCode, logicCode []byte) []FunctionCollision {
+	return intersectSelectors(
+		disasm.DispatcherSelectors(proxyCode),
+		disasm.DispatcherSelectors(logicCode))
+}
+
+// selectorSets combines the available views: source prototypes when
+// present, dispatcher extraction otherwise.
+type selectorView struct {
+	selectors [][4]byte
+	protoOf   map[[4]byte]string
+}
+
+func viewOf(code []byte, src *solc.Contract) selectorView {
+	if src != nil {
+		v := selectorView{protoOf: make(map[[4]byte]string)}
+		for _, proto := range src.Prototypes() {
+			sel := selectorOf(proto)
+			v.selectors = append(v.selectors, sel)
+			v.protoOf[sel] = proto
+		}
+		return v
+	}
+	return selectorView{selectors: disasm.DispatcherSelectors(code)}
+}
+
+// FunctionCollisions detects selector collisions for a proxy/logic pair
+// with any combination of source availability.
+func FunctionCollisions(proxyCode, logicCode []byte, proxySrc, logicSrc *solc.Contract) []FunctionCollision {
+	pv := viewOf(proxyCode, proxySrc)
+	lv := viewOf(logicCode, logicSrc)
+	logicSet := make(map[[4]byte]struct{}, len(lv.selectors))
+	for _, s := range lv.selectors {
+		logicSet[s] = struct{}{}
+	}
+	var out []FunctionCollision
+	for _, s := range pv.selectors {
+		if _, ok := logicSet[s]; ok {
+			out = append(out, FunctionCollision{
+				Selector:   s,
+				ProxyProto: pv.protoOf[s],
+				LogicProto: lv.protoOf[s],
+			})
+		}
+	}
+	sortCollisions(out)
+	return out
+}
+
+func intersectSelectors(a, b [][4]byte) []FunctionCollision {
+	set := make(map[[4]byte]struct{}, len(b))
+	for _, s := range b {
+		set[s] = struct{}{}
+	}
+	var out []FunctionCollision
+	for _, s := range a {
+		if _, ok := set[s]; ok {
+			out = append(out, FunctionCollision{Selector: s})
+		}
+	}
+	sortCollisions(out)
+	return out
+}
+
+func sortCollisions(cs []FunctionCollision) {
+	sort.Slice(cs, func(i, j int) bool {
+		for k := 0; k < 4; k++ {
+			if cs[i].Selector[k] != cs[j].Selector[k] {
+				return cs[i].Selector[k] < cs[j].Selector[k]
+			}
+		}
+		return false
+	})
+}
+
+func selectorOf(proto string) [4]byte {
+	return etypes.Keccak([]byte(proto)).SelectorBytes()
+}
+
+// selectorCache memoizes dispatcher extraction by code hash. The paper
+// exploits the extreme duplication of deployed bytecode (Figure 5) the same
+// way: identical contracts are analyzed once.
+type selectorCache struct {
+	mu sync.Mutex
+	m  map[etypes.Hash][][4]byte
+}
+
+func newSelectorCache() *selectorCache {
+	return &selectorCache{m: make(map[etypes.Hash][][4]byte)}
+}
+
+// get returns the dispatcher selectors for code, computing them at most
+// once per distinct bytecode.
+func (c *selectorCache) get(code []byte) [][4]byte {
+	h := etypes.Keccak(code)
+	c.mu.Lock()
+	cached, ok := c.m[h]
+	c.mu.Unlock()
+	if ok {
+		return cached
+	}
+	sels := disasm.DispatcherSelectors(code)
+	c.mu.Lock()
+	c.m[h] = sels
+	c.mu.Unlock()
+	return sels
+}

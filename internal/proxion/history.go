@@ -1,0 +1,85 @@
+package proxion
+
+import (
+	"sort"
+
+	"repro/internal/etypes"
+)
+
+// LogicHistory recovers every logic-contract address ever stored in the
+// proxy's implementation slot using the paper's Algorithm 1: a recursive
+// binary partition over block heights that compares the slot's value at the
+// range endpoints and only descends into ranges whose endpoints differ.
+// It relies on the paper's observation that proxies essentially never
+// downgrade to a previously used logic contract, so each distinct value
+// corresponds to one contiguous block range.
+//
+// The number of archive (getStorageAt) calls is the efficiency metric of
+// Section 6.1; read it from the chain's API-call counter.
+func (d *Detector) LogicHistory(proxy etypes.Address, slot etypes.Hash) []etypes.Address {
+	lower := uint64(0)
+	upper := d.chain.CurrentBlock()
+	values := make(map[etypes.Hash]struct{})
+	vLower := d.chain.GetStorageAt(proxy, slot, lower)
+	vUpper := d.chain.GetStorageAt(proxy, slot, upper)
+	d.partitionBlocks(proxy, slot, lower, upper, vLower, vUpper, values)
+	delete(values, etypes.Hash{}) // the empty slot before the first write
+	return sortedAddresses(values)
+}
+
+// partitionBlocks is Algorithm 1's PARTITIONBLOCKS: collect every distinct
+// value the slot holds in [lower, upper]. Endpoint values are threaded down
+// the recursion so each block height is queried at most once — the paper's
+// pseudocode re-queries endpoints, which doubles the archive calls for the
+// same result.
+func (d *Detector) partitionBlocks(proxy etypes.Address, slot etypes.Hash, lower, upper uint64, vLower, vUpper etypes.Hash, values map[etypes.Hash]struct{}) {
+	values[vLower] = struct{}{}
+	values[vUpper] = struct{}{}
+	if vLower == vUpper || lower+1 >= upper {
+		return
+	}
+	mid := lower + (upper-lower)/2
+	vMid := d.chain.GetStorageAt(proxy, slot, mid)
+	vMid1 := d.chain.GetStorageAt(proxy, slot, mid+1)
+	d.partitionBlocks(proxy, slot, lower, mid, vLower, vMid, values)
+	d.partitionBlocks(proxy, slot, mid+1, upper, vMid1, vUpper, values)
+}
+
+// NaiveLogicHistory is the baseline Algorithm 1 replaces: query the slot at
+// every block height from genesis to head. Used by the ablation benchmark
+// to quantify the binary search's API-call savings.
+func (d *Detector) NaiveLogicHistory(proxy etypes.Address, slot etypes.Hash) []etypes.Address {
+	values := make(map[etypes.Hash]struct{})
+	for h := uint64(0); h <= d.chain.CurrentBlock(); h++ {
+		values[d.chain.GetStorageAt(proxy, slot, h)] = struct{}{}
+	}
+	delete(values, etypes.Hash{})
+	return sortedAddresses(values)
+}
+
+// UpgradeCount returns how many times the proxy switched logic contracts:
+// one less than the number of distinct logic addresses (zero upgrades for a
+// single logic), for the Figure 6 experiment.
+func (d *Detector) UpgradeCount(proxy etypes.Address, slot etypes.Hash) int {
+	n := len(d.LogicHistory(proxy, slot))
+	if n <= 1 {
+		return 0
+	}
+	return n - 1
+}
+
+func sortedAddresses(values map[etypes.Hash]struct{}) []etypes.Address {
+	out := make([]etypes.Address, 0, len(values))
+	for v := range values {
+		out = append(out, etypes.BytesToAddress(v[:]))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}

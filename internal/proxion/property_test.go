@@ -1,0 +1,247 @@
+package proxion_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/abi"
+	"repro/internal/chain"
+	"repro/internal/disasm"
+	"repro/internal/etypes"
+	"repro/internal/proxion"
+	"repro/internal/solc"
+	"repro/internal/u256"
+)
+
+// randomContract builds a contract with a random storage layout and a
+// getter+setter per variable — the raw material for the round-trip
+// properties below.
+type randomContract struct {
+	src *solc.Contract
+}
+
+var varTypes = []solc.VarType{
+	solc.TypeBool, solc.TypeUint8, solc.TypeUint16, solc.TypeUint32,
+	solc.TypeUint64, solc.TypeUint128, solc.TypeUint256, solc.TypeAddress,
+	solc.TypeBytes32,
+}
+
+func genContract(r *rand.Rand) randomContract {
+	n := 1 + r.Intn(8)
+	c := &solc.Contract{Name: "Rnd"}
+	for i := 0; i < n; i++ {
+		c.Vars = append(c.Vars, solc.Var{
+			Name: fmt.Sprintf("v%d", i),
+			Type: varTypes[r.Intn(len(varTypes))],
+		})
+	}
+	for i, v := range c.Vars {
+		c.Funcs = append(c.Funcs,
+			solc.Func{
+				ABI:  abi.Function{Name: fmt.Sprintf("get%d", i)},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: v.Name}},
+			},
+			solc.Func{
+				ABI:  abi.Function{Name: fmt.Sprintf("set%d", i), Params: []string{"uint256"}},
+				Body: []solc.Stmt{solc.AssignArg{Var: v.Name, Arg: i % 2}},
+			},
+		)
+	}
+	return randomContract{src: c}
+}
+
+var contractQuickCfg = &quick.Config{
+	MaxCount: 150,
+	Values: func(args []reflect.Value, r *rand.Rand) {
+		for i := range args {
+			args[i] = reflect.ValueOf(genContract(r))
+		}
+	},
+}
+
+// TestPropertyAccessRecoveryMatchesLayout: for any randomly generated
+// contract, the bytecode-level symbolic analysis must recover exactly the
+// declared storage layout — every variable's (slot, offset, size) appears
+// as both a read and a write, and nothing else does.
+func TestPropertyAccessRecoveryMatchesLayout(t *testing.T) {
+	f := func(rc randomContract) bool {
+		code := solc.MustCompile(rc.src)
+		accs := proxion.ExtractStorageAccesses(code)
+
+		type loc struct {
+			slot         uint64
+			offset, size int
+		}
+		reads := make(map[loc]bool)
+		writes := make(map[loc]bool)
+		for _, a := range accs {
+			l := loc{a.Slot.Word().Uint64(), a.Offset, a.Size}
+			switch a.Kind {
+			case proxion.AccessRead:
+				reads[l] = true
+			case proxion.AccessWrite:
+				writes[l] = true
+			}
+		}
+		for _, sv := range rc.src.Layout() {
+			l := loc{sv.Slot, sv.Offset, sv.Size}
+			if !reads[l] {
+				t.Logf("missing read of %s at %+v; accesses: %+v", sv.Var.Name, l, accs)
+				return false
+			}
+			if !writes[l] {
+				t.Logf("missing write of %s at %+v", sv.Var.Name, l)
+				return false
+			}
+		}
+		// No spurious locations beyond the declared layout.
+		declared := make(map[loc]bool)
+		for _, sv := range rc.src.Layout() {
+			declared[loc{sv.Slot, sv.Offset, sv.Size}] = true
+		}
+		for l := range reads {
+			if !declared[l] {
+				t.Logf("spurious read %+v", l)
+				return false
+			}
+		}
+		for l := range writes {
+			if !declared[l] {
+				t.Logf("spurious write %+v", l)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, contractQuickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDispatcherRecoversAllSelectors: dispatcher-pattern extraction
+// finds exactly the declared function selectors of any generated contract.
+func TestPropertyDispatcherRecoversAllSelectors(t *testing.T) {
+	f := func(rc randomContract) bool {
+		code := solc.MustCompile(rc.src)
+		got := disasm.DispatcherSelectors(code)
+		want := make(map[[4]byte]bool)
+		for _, s := range rc.src.Selectors() {
+			want[s] = true
+		}
+		if len(got) != len(want) {
+			t.Logf("selector count %d != %d", len(got), len(want))
+			return false
+		}
+		for _, s := range got {
+			if !want[s] {
+				t.Logf("spurious selector %x", s)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, contractQuickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCraftedCallDataNeverCollides: the crafted probe selector
+// avoids every PUSH4 immediate for any generated contract.
+func TestPropertyCraftedCallDataNeverCollides(t *testing.T) {
+	addr := etypes.MustAddress("0x00000000000000000000000000000000000a0a0a")
+	f := func(rc randomContract) bool {
+		code := solc.MustCompile(rc.src)
+		probe := proxion.CraftCallData(addr, code)
+		var sel [4]byte
+		copy(sel[:], probe)
+		for _, avoid := range disasm.Push4Candidates(code) {
+			if sel == avoid {
+				return false
+			}
+		}
+		return len(probe) >= 4
+	}
+	if err := quick.Check(f, contractQuickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyGettersRoundTripThroughEVM: for any generated contract, each
+// setter/getter pair round-trips a value through real EVM execution with
+// correct packed-field masking (neighbouring variables stay intact).
+func TestPropertyGettersRoundTripThroughEVM(t *testing.T) {
+	sender := etypes.MustAddress("0x00000000000000000000000000000000000b0b0b")
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values:   contractQuickCfg.Values,
+	}
+	f := func(rc randomContract) bool {
+		c := chain.New()
+		target := etypes.MustAddress("0x00000000000000000000000000000000000c0c0c")
+		c.InstallContract(target, solc.MustCompile(rc.src))
+
+		// Set every variable to a distinct value, then read them all back.
+		layout := rc.src.Layout()
+		for i := range rc.src.Vars {
+			arg := u256.FromUint64(uint64(0xA0 + i))
+			sel := abi.SelectorOf(fmt.Sprintf("set%d(uint256)", i))
+			args := []u256.Int{arg, arg} // setter reads arg i%2
+			rc2 := c.Execute(sender, target, abi.EncodeCall(sel, args...), 0, u256.Zero())
+			if !rc2.Status {
+				t.Logf("set%d failed: %v", i, rc2.Err)
+				return false
+			}
+		}
+		for i, sv := range layout {
+			sel := abi.SelectorOf(fmt.Sprintf("get%d()", i))
+			rc2 := c.Execute(sender, target, abi.EncodeCall(sel), 0, u256.Zero())
+			if !rc2.Status {
+				return false
+			}
+			got := u256.FromBytes(rc2.Output)
+			// The stored value is the written value truncated to the
+			// field width.
+			want := u256.FromUint64(uint64(0xA0 + i)).And(maskFor(sv.Size))
+			if !got.Eq(want) {
+				t.Logf("var %d (%s, %d bytes): got %s want %s", i, sv.Var.Type, sv.Size, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func maskFor(size int) u256.Int {
+	return u256.One().Shl(uint(size * 8)).Sub(u256.One())
+}
+
+// TestParallelDetectionRaceFree runs many detections concurrently over one
+// frozen chain; meant to be exercised with -race.
+func TestParallelDetectionRaceFree(t *testing.T) {
+	implSlot := etypes.HashFromWord(u256.FromUint64(7))
+	c := newChainWithPair(t, implSlot)
+	d := proxion.NewDetector(c)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if !d.Check(proxyAt).IsProxy {
+					t.Error("detection flapped under concurrency")
+					return
+				}
+				d.AnalyzePair(proxyAt, logicAt, nil)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,168 @@
+package proxion
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/etypes"
+	"repro/internal/solc"
+)
+
+// accessCache memoizes ExtractStorageAccesses by bytecode hash.
+type accessCache struct {
+	mu sync.Mutex
+	m  map[etypes.Hash][]StorageAccess
+}
+
+func newAccessCache() *accessCache {
+	return &accessCache{m: make(map[etypes.Hash][]StorageAccess)}
+}
+
+func (c *accessCache) get(code []byte) []StorageAccess {
+	h := etypes.Keccak(code)
+	c.mu.Lock()
+	cached, ok := c.m[h]
+	c.mu.Unlock()
+	if ok {
+		return cached
+	}
+	accs := ExtractStorageAccesses(code)
+	c.mu.Lock()
+	c.m[h] = accs
+	c.mu.Unlock()
+	return accs
+}
+
+// SourceProvider resolves a contract's verified source, if published. The
+// etherscan package implements it; nil results mean bytecode-only analysis.
+type SourceProvider interface {
+	Source(addr etypes.Address) *solc.Contract
+}
+
+// PairAnalysis is the full collision assessment of one proxy/logic pair
+// (Section 5).
+type PairAnalysis struct {
+	Proxy etypes.Address
+	Logic etypes.Address
+	// ProxyHasSource/LogicHasSource record which analysis path ran.
+	ProxyHasSource bool
+	LogicHasSource bool
+	Functions      []FunctionCollision
+	Storage        []StorageCollision
+	// ExploitVerified is set when the dynamic replay confirmed a storage
+	// collision exploit.
+	ExploitVerified bool
+}
+
+// AnalyzePair detects function and storage collisions for one proxy/logic
+// pair, choosing source- or bytecode-level techniques per availability.
+func (d *Detector) AnalyzePair(proxy, logic etypes.Address, sources SourceProvider) PairAnalysis {
+	pa := PairAnalysis{Proxy: proxy, Logic: logic}
+	proxyCode := d.chain.Code(proxy)
+	logicCode := d.chain.Code(logic)
+
+	var proxySrc, logicSrc *solc.Contract
+	if sources != nil {
+		proxySrc = sources.Source(proxy)
+		logicSrc = sources.Source(logic)
+	}
+	pa.ProxyHasSource = proxySrc != nil
+	pa.LogicHasSource = logicSrc != nil
+
+	pa.Functions = FunctionCollisions(proxyCode, logicCode, proxySrc, logicSrc)
+
+	proxyAcc := d.accessCache.get(proxyCode)
+	logicAcc := d.accessCache.get(logicCode)
+	pa.Storage = StorageCollisions(proxyAcc, logicAcc)
+	if len(pa.Storage) > 0 {
+		pa.ExploitVerified = d.VerifyStorageExploit(proxy, logic, pa.Storage)
+		if pa.ExploitVerified {
+			for i := range pa.Storage {
+				if pa.Storage[i].Exploitable {
+					pa.Storage[i].Verified = true
+				}
+			}
+		}
+	}
+	return pa
+}
+
+// Result is the output of a whole-chain analysis run.
+type Result struct {
+	// Reports holds one detection report per examined contract, in the
+	// chain's deterministic contract order.
+	Reports []Report
+	// Pairs holds the collision analysis of every detected proxy with its
+	// current logic contract.
+	Pairs []PairAnalysis
+}
+
+// Proxies returns the subset of reports that detected a proxy.
+func (r *Result) Proxies() []Report {
+	var out []Report
+	for _, rep := range r.Reports {
+		if rep.IsProxy {
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// AnalyzeAll runs detection over every alive contract, then collision
+// analysis over every detected pair. Detection runs on a worker pool: each
+// emulation is independent (overlay state), which is what lets the paper
+// process ~150 contracts per second on a commodity machine.
+func (d *Detector) AnalyzeAll(sources SourceProvider) *Result {
+	addrs := d.chain.Contracts()
+	reports := make([]Report, len(addrs))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(addrs) {
+		workers = len(addrs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				reports[i] = d.Check(addrs[i])
+			}
+		}()
+	}
+	for i := range addrs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	res := &Result{Reports: reports}
+	for _, rep := range reports {
+		if rep.IsProxy && !rep.Logic.IsZero() {
+			res.Pairs = append(res.Pairs, d.AnalyzePair(rep.Address, rep.Logic, sources))
+		}
+	}
+	return res
+}
+
+// AnalyzeSince runs detection only over contracts deployed after the given
+// block height — the incremental mode a production deployment would use to
+// keep pace with the chain instead of re-scanning all 36M contracts.
+func (d *Detector) AnalyzeSince(height uint64, sources SourceProvider) *Result {
+	res := &Result{}
+	for _, addr := range d.chain.Contracts() {
+		if d.chain.CreatedAt(addr) <= height {
+			continue
+		}
+		rep := d.Check(addr)
+		res.Reports = append(res.Reports, rep)
+		if rep.IsProxy && !rep.Logic.IsZero() {
+			res.Pairs = append(res.Pairs, d.AnalyzePair(rep.Address, rep.Logic, sources))
+		}
+	}
+	return res
+}

@@ -1,0 +1,415 @@
+package proxion
+
+import (
+	"sort"
+
+	"repro/internal/disasm"
+	"repro/internal/etypes"
+	"repro/internal/evm"
+	"repro/internal/u256"
+)
+
+// AccessKind distinguishes storage reads from writes.
+type AccessKind int
+
+// Access kinds.
+const (
+	AccessRead AccessKind = iota + 1
+	AccessWrite
+)
+
+// StorageAccess is one recovered storage field access: which slot, the byte
+// range within it, and how the value is used. This is the product of the
+// CRUSH-style analysis (Section 5.2): program-slice the instructions
+// feeding SLOAD/SSTORE, symbolically evaluate the shift/mask arithmetic to
+// learn field offset and width, and tag sensitive uses.
+type StorageAccess struct {
+	Slot   etypes.Hash
+	Offset int // bytes from the least-significant end
+	Size   int // bytes
+	Kind   AccessKind
+	// PC is the code offset of the SLOAD/SSTORE, used to attribute the
+	// access to a function body.
+	PC uint64
+	// Guard marks reads whose value decides a conditional branch — the
+	// access-control and initializer-guard slots CRUSH calls sensitive.
+	Guard bool
+	// CallerCheck marks reads compared against msg.sender (ownership).
+	CallerCheck bool
+	// Tainted marks writes whose value derives from msg.sender or call
+	// data, i.e. attacker-influenceable.
+	Tainted bool
+}
+
+// field is a byte range in a slot.
+type field struct{ offset, size int }
+
+// symbolic value kinds for the lightweight evaluator.
+type symKind int
+
+const (
+	symUnknown symKind = iota
+	symConst
+	symCaller
+	symCalldata
+	symSload        // (possibly shifted/masked) SLOAD result
+	symWriteCombine // AND(old, keepMask) — the read-modify-write skeleton
+)
+
+// sym is an abstract stack value.
+type sym struct {
+	kind symKind
+	val  u256.Int // for symConst
+	// acc points at the StorageAccess a symSload descends from, so later
+	// mask/branch/compare instructions can refine or tag it.
+	acc *StorageAccess
+	// keep is the retained-bits mask for symWriteCombine.
+	keep u256.Int
+	// shift tracks SHR offset applied to a symSload before masking.
+	shift int
+	// masked records that a field-extraction AND was applied.
+	masked bool
+	// taint propagates msg.sender / call-data influence.
+	taint bool
+}
+
+// ExtractStorageAccesses recovers the storage field accesses of a
+// contract's bytecode. It evaluates each basic block symbolically: constant
+// slot arithmetic, the SHR/AND field extraction Solidity emits for packed
+// reads, the AND/OR read-modify-write skeleton of packed writes, and the
+// comparisons/branches that mark guard slots.
+func ExtractStorageAccesses(code []byte) []StorageAccess {
+	var out []StorageAccess
+	for _, block := range disasm.BasicBlocks(code) {
+		out = append(out, evalBlock(block)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Slot != out[j].Slot {
+			return lessHash(out[i].Slot, out[j].Slot)
+		}
+		if out[i].Offset != out[j].Offset {
+			return out[i].Offset < out[j].Offset
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return dedupAccesses(out)
+}
+
+func lessHash(a, b etypes.Hash) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func dedupAccesses(in []StorageAccess) []StorageAccess {
+	var out []StorageAccess
+	seen := make(map[StorageAccess]struct{})
+	for _, a := range in {
+		if _, dup := seen[a]; !dup {
+			seen[a] = struct{}{}
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// evalBlock symbolically executes one basic block with an empty entry stack
+// (cross-block stack contents appear as unknowns) and returns the accesses
+// it performs.
+func evalBlock(block disasm.BasicBlock) []StorageAccess {
+	var accesses []*StorageAccess
+	var stack []sym
+
+	push := func(s sym) { stack = append(stack, s) }
+	pop := func() sym {
+		if len(stack) == 0 {
+			return sym{kind: symUnknown}
+		}
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return s
+	}
+
+	for _, ins := range block.Instrs {
+		op := ins.Op
+		switch {
+		case op.IsPush():
+			push(sym{kind: symConst, val: u256.FromBytes(ins.Imm)})
+			continue
+		case op == evm.PUSH0:
+			push(sym{kind: symConst})
+			continue
+		case op.IsDup():
+			n := int(op-evm.DUP1) + 1
+			if n <= len(stack) {
+				push(stack[len(stack)-n])
+			} else {
+				push(sym{kind: symUnknown})
+			}
+			continue
+		case op.IsSwap():
+			n := int(op-evm.SWAP1) + 1
+			if n < len(stack) {
+				top := len(stack) - 1
+				stack[top], stack[top-n] = stack[top-n], stack[top]
+			}
+			continue
+		}
+
+		switch op {
+		case evm.CALLER:
+			push(sym{kind: symCaller, taint: true})
+		case evm.CALLDATALOAD:
+			pop()
+			push(sym{kind: symCalldata, taint: true})
+		case evm.SLOAD:
+			key := pop()
+			if key.kind == symConst {
+				acc := &StorageAccess{
+					Slot:   etypes.HashFromWord(key.val),
+					Offset: 0,
+					Size:   32,
+					Kind:   AccessRead,
+					PC:     ins.PC,
+				}
+				accesses = append(accesses, acc)
+				push(sym{kind: symSload, acc: acc})
+			} else {
+				push(sym{kind: symUnknown})
+			}
+		case evm.SHR:
+			shift, x := pop(), pop()
+			if x.kind == symSload && shift.kind == symConst && shift.val.IsUint64() {
+				x.shift += int(shift.val.Uint64())
+				push(x)
+			} else {
+				push(sym{kind: symUnknown, taint: x.taint})
+			}
+		case evm.SHL:
+			shift, x := pop(), pop()
+			_ = shift
+			push(sym{kind: symUnknown, taint: x.taint, acc: x.acc})
+		case evm.AND:
+			a, b := pop(), pop()
+			// Normalize: s = the sload/derived side, m = the mask side.
+			s, m := a, b
+			if s.kind != symSload {
+				s, m = b, a
+			}
+			if s.kind == symSload && m.kind == symConst {
+				// Field-extraction masks start at bit 0 (they follow the
+				// SHR); a mask whose ones start higher is a read-modify-
+				// write keep mask, whose complement is the written field.
+				if off, size, ok := lowRunMask(m.val); ok && off == 0 {
+					// Field read: refine the recorded access. (If this value
+					// is later OR-combined, the OR rule reinterprets it as a
+					// read-modify-write keep mask — the two shapes coincide
+					// for top-aligned fields.)
+					s.acc.Offset = s.shift / 8
+					s.acc.Size = size
+					push(sym{kind: symSload, acc: s.acc, shift: s.shift, masked: true, taint: s.taint})
+				} else if _, _, ok := complementRunMask(m.val); ok {
+					// Read-modify-write skeleton: the SLOAD is not a
+					// semantic field read; drop it from the access list.
+					removeAccess(&accesses, s.acc)
+					push(sym{kind: symWriteCombine, keep: m.val, taint: s.taint})
+				} else {
+					push(sym{kind: symUnknown, taint: s.taint})
+				}
+			} else {
+				push(sym{kind: symUnknown, taint: a.taint || b.taint, acc: firstAcc(a, b)})
+			}
+		case evm.OR:
+			a, b := pop(), pop()
+			w := a
+			if w.kind != symWriteCombine {
+				w = b
+			}
+			if w.kind == symWriteCombine {
+				w.taint = a.taint || b.taint
+				push(w)
+				continue
+			}
+			// A masked, unshifted SLOAD being OR-combined is the other face
+			// of the read-modify-write skeleton: AND(old, lowMask) kept the
+			// low field, and the OR merges in a top-aligned value. The
+			// SLOAD was not a semantic read after all.
+			rmw := a
+			if !(rmw.kind == symSload && rmw.masked && rmw.shift == 0) {
+				rmw = b
+			}
+			if rmw.kind == symSload && rmw.masked && rmw.shift == 0 && rmw.acc != nil && rmw.acc.Offset == 0 {
+				keep := u256.One().Shl(uint(rmw.acc.Size * 8)).Sub(u256.One())
+				removeAccess(&accesses, rmw.acc)
+				push(sym{kind: symWriteCombine, keep: keep, taint: a.taint || b.taint})
+				continue
+			}
+			push(sym{kind: symUnknown, taint: a.taint || b.taint})
+		case evm.SSTORE:
+			key, val := pop(), pop()
+			if key.kind != symConst {
+				continue
+			}
+			acc := StorageAccess{
+				Slot:    etypes.HashFromWord(key.val),
+				Offset:  0,
+				Size:    32,
+				Kind:    AccessWrite,
+				Tainted: val.taint,
+				PC:      ins.PC,
+			}
+			if val.kind == symWriteCombine {
+				if off, size, ok := complementRunMask(val.keep); ok {
+					acc.Offset, acc.Size = off, size
+				}
+			}
+			a := acc
+			accesses = append(accesses, &a)
+		case evm.EQ:
+			a, b := pop(), pop()
+			// CALLER == <storage read>: ownership check.
+			if (a.kind == symCaller && b.acc != nil) || (b.kind == symCaller && a.acc != nil) {
+				acc := firstAcc(a, b)
+				acc.CallerCheck = true
+				acc.Guard = true
+				push(sym{kind: symUnknown, acc: acc})
+			} else {
+				push(sym{kind: symUnknown, acc: firstAcc(a, b), taint: a.taint || b.taint})
+			}
+		case evm.ISZERO:
+			a := pop()
+			push(sym{kind: symUnknown, acc: a.acc, taint: a.taint})
+		case evm.JUMPI:
+			_, cond := pop(), pop()
+			if cond.acc != nil {
+				cond.acc.Guard = true
+			}
+		default:
+			pops, pushes := stackEffect(op)
+			var anyTaint bool
+			var acc *StorageAccess
+			for i := 0; i < pops; i++ {
+				v := pop()
+				anyTaint = anyTaint || v.taint
+				if acc == nil {
+					acc = v.acc
+				}
+			}
+			for i := 0; i < pushes; i++ {
+				push(sym{kind: symUnknown, taint: anyTaint, acc: acc})
+			}
+		}
+	}
+
+	out := make([]StorageAccess, 0, len(accesses))
+	for _, a := range accesses {
+		if a != nil {
+			out = append(out, *a)
+		}
+	}
+	return out
+}
+
+// firstAcc returns the first non-nil access provenance among values.
+func firstAcc(vals ...sym) *StorageAccess {
+	for _, v := range vals {
+		if v.acc != nil {
+			return v.acc
+		}
+	}
+	return nil
+}
+
+// removeAccess nils out the slot in the access list pointing at target.
+func removeAccess(accesses *[]*StorageAccess, target *StorageAccess) {
+	if target == nil {
+		return
+	}
+	for i, a := range *accesses {
+		if a == target {
+			(*accesses)[i] = nil
+			return
+		}
+	}
+}
+
+// lowRunMask reports whether m is a contiguous run of ones starting at some
+// byte boundary ≥ 0 with no gaps (e.g. 0xff, 0xffff, (1<<160)-1). Returns
+// the run's byte offset and byte length.
+func lowRunMask(m u256.Int) (offsetBytes, sizeBytes int, ok bool) {
+	if m.IsZero() {
+		return 0, 0, false
+	}
+	// Find lowest set bit.
+	lo := 0
+	for m.Bit(uint(lo)) == 0 {
+		lo++
+	}
+	hi := m.BitLen() - 1
+	// All bits between lo and hi must be set.
+	width := hi - lo + 1
+	ones := u256.One().Shl(uint(width)).Sub(u256.One()).Shl(uint(lo))
+	if !ones.Eq(m) {
+		return 0, 0, false
+	}
+	if lo%8 != 0 || width%8 != 0 {
+		return 0, 0, false
+	}
+	return lo / 8, width / 8, true
+}
+
+// complementRunMask reports whether ^m is a contiguous byte-aligned run —
+// the shape of a read-modify-write keep mask. Returns the complement run's
+// byte offset and length (the field being overwritten).
+func complementRunMask(m u256.Int) (offsetBytes, sizeBytes int, ok bool) {
+	return lowRunMask(m.Not())
+}
+
+// stackEffect mirrors the interpreter's pop/push counts for opcodes the
+// symbolic evaluator does not model specially.
+func stackEffect(op evm.Op) (pops, pushes int) {
+	switch {
+	case op.IsLog():
+		return int(op-evm.LOG0) + 2, 0
+	}
+	switch op {
+	case evm.STOP, evm.JUMPDEST, evm.INVALID:
+		return 0, 0
+	case evm.ADD, evm.MUL, evm.SUB, evm.DIV, evm.SDIV, evm.MOD, evm.SMOD,
+		evm.SIGNEXTEND, evm.LT, evm.GT, evm.SLT, evm.SGT, evm.EXP,
+		evm.BYTE, evm.SAR, evm.KECCAK256, evm.XOR:
+		return 2, 1
+	case evm.ADDMOD, evm.MULMOD:
+		return 3, 1
+	case evm.NOT, evm.BALANCE, evm.EXTCODESIZE, evm.EXTCODEHASH,
+		evm.BLOCKHASH, evm.MLOAD:
+		return 1, 1
+	case evm.ADDRESS, evm.ORIGIN, evm.CALLVALUE, evm.CALLDATASIZE,
+		evm.CODESIZE, evm.GASPRICE, evm.RETURNDATASIZE, evm.COINBASE,
+		evm.TIMESTAMP, evm.NUMBER, evm.DIFFICULTY, evm.GASLIMIT,
+		evm.CHAINID, evm.SELFBALANCE, evm.BASEFEE, evm.PC, evm.MSIZE,
+		evm.GAS:
+		return 0, 1
+	case evm.POP, evm.JUMP, evm.SELFDESTRUCT:
+		return 1, 0
+	case evm.MSTORE, evm.MSTORE8, evm.RETURN, evm.REVERT:
+		return 2, 0
+	case evm.CALLDATACOPY, evm.CODECOPY, evm.RETURNDATACOPY:
+		return 3, 0
+	case evm.EXTCODECOPY:
+		return 4, 0
+	case evm.CREATE:
+		return 3, 1
+	case evm.CREATE2:
+		return 4, 1
+	case evm.CALL, evm.CALLCODE:
+		return 7, 1
+	case evm.DELEGATECALL, evm.STATICCALL:
+		return 6, 1
+	default:
+		return 0, 0
+	}
+}

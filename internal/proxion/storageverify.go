@@ -1,0 +1,272 @@
+package proxion
+
+import (
+	"sort"
+
+	"repro/internal/abi"
+	"repro/internal/disasm"
+	"repro/internal/etypes"
+	"repro/internal/evm"
+	"repro/internal/u256"
+)
+
+// StorageCollision is a slot whose byte layout the proxy and logic contract
+// interpret differently (Section 2.3). Because delegatecalled logic code
+// runs against the proxy's storage, overlapping-but-mismatched fields read
+// or corrupt each other.
+type StorageCollision struct {
+	Slot etypes.Hash
+	// ProxyOffset/Size and LogicOffset/Size are one overlapping mismatched
+	// field pair (the first found; a slot may have several).
+	ProxyOffset, ProxySize int
+	LogicOffset, LogicSize int
+	// GuardInvolved is set when a colliding field feeds a conditional
+	// branch (initializer guards, onlyOwner checks).
+	GuardInvolved bool
+	// Exploitable is CRUSH's static criterion: a guard or ownership read
+	// is overlapped, with mismatched boundaries, by a write whose value an
+	// attacker influences (msg.sender or call data).
+	Exploitable bool
+	// Verified is set when the dynamic replay confirmed the exploit
+	// (Section 5.2: test transactions fed to the EVM).
+	Verified bool
+}
+
+// fieldsOverlap reports whether [ao, ao+as) and [bo, bo+bs) intersect.
+func fieldsOverlap(ao, as, bo, bs int) bool {
+	return ao < bo+bs && bo < ao+as
+}
+
+// sameField reports identical interpretation.
+func sameField(ao, as, bo, bs int) bool { return ao == bo && as == bs }
+
+// StorageCollisions compares the storage access profiles of a proxy and a
+// logic contract and returns one record per colliding slot.
+func StorageCollisions(proxyAcc, logicAcc []StorageAccess) []StorageCollision {
+	proxyBySlot := groupBySlot(proxyAcc)
+	logicBySlot := groupBySlot(logicAcc)
+
+	var out []StorageCollision
+	for slot, pAccs := range proxyBySlot {
+		lAccs, shared := logicBySlot[slot]
+		if !shared {
+			continue
+		}
+		col, found := collideSlot(slot, pAccs, lAccs)
+		if found {
+			out = append(out, col)
+		}
+	}
+	sortStorageCollisions(out)
+	return out
+}
+
+// collideSlot looks for mismatched overlapping fields within one slot and
+// derives the guard/exploitability flags. A collision exists when the proxy
+// and logic interpret overlapping bytes with different boundaries. Because
+// both contracts' code executes against the proxy's storage, exploitability
+// is judged over the *union* of their accesses: a guard or ownership read
+// anywhere in the pair that an attacker-influenced write overlaps with
+// mismatched boundaries — the Audius shape, where the logic's own
+// inherited-layout owner write tramples its initializer guard bits.
+func collideSlot(slot etypes.Hash, pAccs, lAccs []StorageAccess) (StorageCollision, bool) {
+	col := StorageCollision{Slot: slot}
+	found := false
+	for _, p := range pAccs {
+		for _, l := range lAccs {
+			if !fieldsOverlap(p.Offset, p.Size, l.Offset, l.Size) {
+				continue
+			}
+			if sameField(p.Offset, p.Size, l.Offset, l.Size) {
+				continue
+			}
+			if !found {
+				col.ProxyOffset, col.ProxySize = p.Offset, p.Size
+				col.LogicOffset, col.LogicSize = l.Offset, l.Size
+				found = true
+			}
+			if p.Guard || l.Guard {
+				col.GuardInvolved = true
+			}
+		}
+	}
+	if !found {
+		return col, false
+	}
+	combined := make([]StorageAccess, 0, len(pAccs)+len(lAccs))
+	combined = append(combined, pAccs...)
+	combined = append(combined, lAccs...)
+	for _, r := range combined {
+		if r.Kind != AccessRead || !(r.Guard || r.CallerCheck) {
+			continue
+		}
+		for _, w := range combined {
+			if w.Kind != AccessWrite || !w.Tainted {
+				continue
+			}
+			if fieldsOverlap(r.Offset, r.Size, w.Offset, w.Size) &&
+				!sameField(r.Offset, r.Size, w.Offset, w.Size) {
+				col.Exploitable = true
+			}
+		}
+	}
+	return col, found
+}
+
+func groupBySlot(accs []StorageAccess) map[etypes.Hash][]StorageAccess {
+	out := make(map[etypes.Hash][]StorageAccess)
+	for _, a := range accs {
+		out[a.Slot] = append(out[a.Slot], a)
+	}
+	return out
+}
+
+func sortStorageCollisions(cs []StorageCollision) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && lessHash(cs[j].Slot, cs[j-1].Slot); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// sstoreTracer records SSTORE slots executed in the proxy's storage context.
+type sstoreTracer struct {
+	proxy   etypes.Address
+	written map[etypes.Hash]struct{}
+}
+
+var _ evm.Tracer = (*sstoreTracer)(nil)
+
+func (t *sstoreTracer) CaptureStep(f *evm.Frame, _ uint64, op evm.Op) {
+	if op == evm.SSTORE && f.Address() == t.proxy {
+		t.written[etypes.HashFromWord(f.Stack().Peek(0))] = struct{}{}
+	}
+}
+
+func (t *sstoreTracer) CaptureEnter(evm.CallKind, etypes.Address, etypes.Address, []byte, u256.Int) {
+}
+func (t *sstoreTracer) CaptureExit([]byte, error) {}
+
+// exploitSenders are the two distinct synthetic attackers used by replay.
+var exploitSenders = [2]etypes.Address{
+	etypes.MustAddress("0x00000000000000000000000000000000a77ac4e1"),
+	etypes.MustAddress("0x00000000000000000000000000000000a77ac4e2"),
+}
+
+// VerifyStorageExploit dynamically confirms a statically-exploitable
+// collision, mirroring CRUSH's validation step: generate test transactions
+// and feed them to the EVM. The replay looks for a guarded state-changing
+// function (reachable through the proxy) that succeeds twice from two
+// different senders while writing a collided slot — the signature of a
+// broken initializer/ownership guard, as in the Audius incident. All
+// execution happens on an overlay; the chain is untouched.
+func (d *Detector) VerifyStorageExploit(proxy, logic etypes.Address, collisions []StorageCollision) bool {
+	collided := make(map[etypes.Hash]struct{})
+	exploitable := false
+	for _, c := range collisions {
+		if c.Exploitable {
+			collided[c.Slot] = struct{}{}
+			exploitable = true
+		}
+	}
+	if !exploitable {
+		return false
+	}
+
+	logicCode := d.chain.Code(logic)
+	for _, sel := range guardGatedSelectors(logicCode, d.accessCache.get(logicCode), collided) {
+		if d.replayDoubleCall(proxy, sel, collided) {
+			return true
+		}
+	}
+	return false
+}
+
+// guardGatedSelectors returns the logic functions worth replaying: those
+// whose body both *reads a collided slot as a guard* and *writes a collided
+// slot*. A plain setter (write without guard) or a pure getter cannot
+// evidence a broken guard, so replaying them would only produce false
+// verifications. Accesses are attributed to functions by PC using the
+// dispatcher's jump targets.
+func guardGatedSelectors(code []byte, accs []StorageAccess, collided map[etypes.Hash]struct{}) [][4]byte {
+	targets := disasm.DispatcherTargets(code)
+	if len(targets) == 0 {
+		return nil
+	}
+	// Function bodies are laid out sequentially: each extends from its
+	// entry to the next entry (or the end of code).
+	type fn struct {
+		sel   [4]byte
+		start uint64
+		end   uint64
+	}
+	fns := make([]fn, 0, len(targets))
+	for sel, start := range targets {
+		fns = append(fns, fn{sel: sel, start: start, end: uint64(len(code))})
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].start < fns[j].start })
+	for i := 0; i+1 < len(fns); i++ {
+		fns[i].end = fns[i+1].start
+	}
+
+	var out [][4]byte
+	for _, f := range fns {
+		hasGuardRead, hasWrite := false, false
+		for _, a := range accs {
+			if a.PC < f.start || a.PC >= f.end {
+				continue
+			}
+			if _, hit := collided[a.Slot]; !hit {
+				continue
+			}
+			if a.Kind == AccessRead && a.Guard {
+				hasGuardRead = true
+			}
+			if a.Kind == AccessWrite {
+				hasWrite = true
+			}
+		}
+		if hasGuardRead && hasWrite {
+			out = append(out, f.sel)
+		}
+	}
+	return out
+}
+
+// replayDoubleCall executes selector via the proxy from two different
+// senders on one overlay and reports whether both succeeded and the first
+// wrote a collided slot.
+func (d *Detector) replayDoubleCall(proxy etypes.Address, sel [4]byte, collided map[etypes.Hash]struct{}) bool {
+	overlay := newOverlay(d.chain)
+	input := abi.EncodeCall(sel)
+
+	tracer := &sstoreTracer{proxy: proxy, written: make(map[etypes.Hash]struct{})}
+	run := func(sender etypes.Address) bool {
+		e := evm.New(overlay, evm.Config{
+			Block:     d.emulationContext(),
+			Tx:        evm.TxContext{Origin: sender},
+			Tracer:    tracer,
+			Lenient:   true,
+			StepLimit: 1 << 18,
+		})
+		res := e.Call(sender, proxy, input, d.emulationGas, u256.Zero())
+		return res.Err == nil
+	}
+
+	if !run(exploitSenders[0]) {
+		return false
+	}
+	wroteCollided := false
+	for slot := range tracer.written {
+		if _, ok := collided[slot]; ok {
+			wroteCollided = true
+			break
+		}
+	}
+	if !wroteCollided {
+		return false
+	}
+	// The guard must have been corrupted: the second, different sender can
+	// run the same guarded function again.
+	return run(exploitSenders[1])
+}

@@ -1,0 +1,83 @@
+package proxion
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Summary aggregates a whole-chain analysis into the headline numbers the
+// paper reports (Sections 6–7). Fields are exported and JSON-tagged so the
+// CLI can emit machine-readable reports.
+type Summary struct {
+	Contracts int `json:"contracts"`
+	Proxies   int `json:"proxies"`
+
+	// Standards is the Table 4 breakdown.
+	Standards map[string]int `json:"standards"`
+
+	// TargetStorage / TargetHardcoded split upgradeable proxies from clones.
+	TargetStorage   int `json:"target_storage"`
+	TargetHardcoded int `json:"target_hardcoded"`
+
+	// EmulationErrors counts terminal EVM failures (Section 7.1).
+	EmulationErrors int `json:"emulation_errors"`
+
+	// PairsWithFunctionCollisions / PairsWithStorageCollisions /
+	// VerifiedExploits summarize Section 5's output.
+	PairsWithFunctionCollisions int `json:"pairs_with_function_collisions"`
+	PairsWithStorageCollisions  int `json:"pairs_with_storage_collisions"`
+	VerifiedExploits            int `json:"verified_exploits"`
+}
+
+// Summarize folds a Result into a Summary.
+func Summarize(res *Result) Summary {
+	s := Summary{
+		Contracts: len(res.Reports),
+		Standards: make(map[string]int),
+	}
+	for _, rep := range res.Reports {
+		if rep.EmulationErr != nil {
+			s.EmulationErrors++
+		}
+		if !rep.IsProxy {
+			continue
+		}
+		s.Proxies++
+		s.Standards[rep.Standard.String()]++
+		switch rep.Target {
+		case TargetStorage:
+			s.TargetStorage++
+		case TargetHardcoded:
+			s.TargetHardcoded++
+		}
+	}
+	for _, pa := range res.Pairs {
+		if len(pa.Functions) > 0 {
+			s.PairsWithFunctionCollisions++
+		}
+		if len(pa.Storage) > 0 {
+			s.PairsWithStorageCollisions++
+		}
+		if pa.ExploitVerified {
+			s.VerifiedExploits++
+		}
+	}
+	return s
+}
+
+// ProxyShare returns the proxy fraction of the analyzed population.
+func (s Summary) ProxyShare() float64 {
+	if s.Contracts == 0 {
+		return 0
+	}
+	return float64(s.Proxies) / float64(s.Contracts)
+}
+
+// MarshalIndentJSON renders the summary for the CLI's -json flag.
+func (s Summary) MarshalIndentJSON() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("proxion: marshaling summary: %w", err)
+	}
+	return out, nil
+}

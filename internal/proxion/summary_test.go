@@ -1,0 +1,88 @@
+package proxion_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/etypes"
+	"repro/internal/proxion"
+)
+
+func TestSummarizeAggregates(t *testing.T) {
+	pop := dataset.Generate(dataset.Config{Seed: 21, Contracts: 700})
+	det := proxion.NewDetector(pop.Chain)
+	res := det.AnalyzeAll(pop.Registry)
+	s := proxion.Summarize(res)
+
+	if s.Contracts != len(res.Reports) {
+		t.Errorf("contracts = %d, want %d", s.Contracts, len(res.Reports))
+	}
+	if s.Proxies != len(res.Proxies()) {
+		t.Errorf("proxies = %d, want %d", s.Proxies, len(res.Proxies()))
+	}
+	var stdTotal int
+	for _, n := range s.Standards {
+		stdTotal += n
+	}
+	if stdTotal != s.Proxies {
+		t.Errorf("standards sum %d != proxies %d", stdTotal, s.Proxies)
+	}
+	if s.TargetStorage+s.TargetHardcoded != s.Proxies {
+		t.Errorf("target split %d+%d != proxies %d", s.TargetStorage, s.TargetHardcoded, s.Proxies)
+	}
+	if share := s.ProxyShare(); share <= 0.3 || share >= 0.8 {
+		t.Errorf("proxy share = %.2f, expected near the paper's 0.54", share)
+	}
+
+	out, err := s.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back proxion.Summary
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.Proxies != s.Proxies || back.VerifiedExploits != s.VerifiedExploits {
+		t.Errorf("JSON round trip mismatch: %+v vs %+v", back, s)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := proxion.Summarize(&proxion.Result{})
+	if s.ProxyShare() != 0 {
+		t.Error("empty result proxy share should be 0")
+	}
+	if _, err := s.MarshalIndentJSON(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeSinceIncremental(t *testing.T) {
+	pop := dataset.Generate(dataset.Config{Seed: 33, Contracts: 600})
+	det := proxion.NewDetector(pop.Chain)
+	full := det.AnalyzeAll(pop.Registry)
+
+	// Mid-chain cut: the incremental run must cover exactly the contracts
+	// deployed after the cut.
+	cut := pop.Chain.CurrentBlock() / 2
+	inc := det.AnalyzeSince(cut, pop.Registry)
+	if len(inc.Reports) == 0 || len(inc.Reports) >= len(full.Reports) {
+		t.Fatalf("incremental reports = %d of %d", len(inc.Reports), len(full.Reports))
+	}
+	for _, rep := range inc.Reports {
+		if pop.Chain.CreatedAt(rep.Address) <= cut {
+			t.Errorf("%s deployed at %d, before cut %d", rep.Address, pop.Chain.CreatedAt(rep.Address), cut)
+		}
+	}
+	// Verdicts agree with the full run.
+	fullBy := make(map[etypes.Address]bool)
+	for _, rep := range full.Reports {
+		fullBy[rep.Address] = rep.IsProxy
+	}
+	for _, rep := range inc.Reports {
+		if fullBy[rep.Address] != rep.IsProxy {
+			t.Errorf("%s: incremental %v != full %v", rep.Address, rep.IsProxy, fullBy[rep.Address])
+		}
+	}
+}

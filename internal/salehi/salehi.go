@@ -1,0 +1,124 @@
+// Package salehi reimplements the Salehi et al. baseline (WTSC 2022,
+// "Not so immutable: Upgradeability of smart contracts on Ethereum") as the
+// paper characterizes it: dynamic analysis over contracts' *past
+// transactions*, identifying proxies from observed delegate calls and
+// answering the work's distinguishing question — who holds the power to
+// upgrade a proxy. Like CRUSH it is blind to contracts without transaction
+// history, and its upgrade-authority analysis additionally needs the proxy
+// to have been exercised enough to expose its admin path (Section 9.1).
+package salehi
+
+import (
+	"repro/internal/chain"
+	"repro/internal/disasm"
+	"repro/internal/etypes"
+	"repro/internal/proxion"
+)
+
+// Tool is a Salehi-style analyzer bound to a chain's transaction archive.
+type Tool struct {
+	chain *chain.Chain
+	// minTxs is the history threshold below which the replay analysis is
+	// ineffective (the paper: "limiting the effective analysis to only
+	// contracts with many transactions").
+	minTxs int
+}
+
+// New returns the baseline with the default history threshold.
+func New(c *chain.Chain) *Tool { return &Tool{chain: c, minTxs: 1} }
+
+// IsProxy mirrors the trace-driven identification: the contract initiated a
+// DELEGATECALL in a recorded transaction and has enough history to replay.
+func (t *Tool) IsProxy(addr etypes.Address) bool {
+	if t.chain.TxCount(addr) < t.minTxs {
+		return false
+	}
+	for _, ev := range t.chain.DelegateEvents() {
+		if ev.Proxy == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// UpgradeAuthority is the study's core result for one proxy: whether it is
+// upgradeable at all and, if so, which account can switch the logic.
+type UpgradeAuthority struct {
+	// Upgradeable is false for clones with a hard-coded target.
+	Upgradeable bool
+	// AdminSlot is the storage slot whose value gates the upgrade path.
+	AdminSlot etypes.Hash
+	// Admin is the account currently holding the upgrade power.
+	Admin etypes.Address
+	// Unprotected is true when a logic-switching write exists with no
+	// caller check in the same function — anyone can upgrade.
+	Unprotected bool
+}
+
+// WhoCanUpgrade analyzes the proxy's bytecode for the function that writes
+// the implementation slot and recovers the access-control slot guarding it;
+// the admin is that slot's current value. Returns ok=false when the proxy
+// has no transaction history (the tool's blind spot) or no implementation
+// slot could be established from its traces.
+func (t *Tool) WhoCanUpgrade(proxy etypes.Address, implSlot etypes.Hash) (UpgradeAuthority, bool) {
+	if t.chain.TxCount(proxy) < t.minTxs {
+		return UpgradeAuthority{}, false
+	}
+	code := t.chain.Code(proxy)
+	if len(code) == 0 {
+		return UpgradeAuthority{}, false
+	}
+	// A minimal proxy (hard-coded target) is not upgradeable.
+	if _, minimal := disasm.MinimalProxyTarget(code); minimal {
+		return UpgradeAuthority{Upgradeable: false}, true
+	}
+
+	accs := proxion.ExtractStorageAccesses(code)
+	targets := disasm.DispatcherTargets(code)
+	if len(targets) == 0 {
+		// No dispatcher: nothing can write the slot; effectively frozen.
+		return UpgradeAuthority{Upgradeable: false}, true
+	}
+
+	// Segment accesses by function and look for the implementation write.
+	type span struct{ start, end uint64 }
+	spans := make([]span, 0, len(targets))
+	for _, start := range targets {
+		spans = append(spans, span{start: start, end: uint64(len(code))})
+	}
+	for i := range spans {
+		for j := range spans {
+			if spans[j].start > spans[i].start && spans[j].start < spans[i].end {
+				spans[i].end = spans[j].start
+			}
+		}
+	}
+	for _, sp := range spans {
+		var writesImpl bool
+		var guard *proxion.StorageAccess
+		for i, a := range accs {
+			if a.PC < sp.start || a.PC >= sp.end {
+				continue
+			}
+			if a.Kind == proxion.AccessWrite && a.Slot == implSlot {
+				writesImpl = true
+			}
+			if a.Kind == proxion.AccessRead && a.CallerCheck {
+				guard = &accs[i]
+			}
+		}
+		if !writesImpl {
+			continue
+		}
+		auth := UpgradeAuthority{Upgradeable: true}
+		if guard == nil {
+			auth.Unprotected = true
+			return auth, true
+		}
+		auth.AdminSlot = guard.Slot
+		word := t.chain.GetState(proxy, guard.Slot)
+		auth.Admin = etypes.BytesToAddress(word[32-guard.Offset-guard.Size : 32-guard.Offset])
+		return auth, true
+	}
+	return UpgradeAuthority{Upgradeable: false}, true
+}

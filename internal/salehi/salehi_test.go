@@ -1,0 +1,139 @@
+package salehi_test
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/asm"
+	"repro/internal/chain"
+	"repro/internal/disasm"
+	"repro/internal/etypes"
+	"repro/internal/evm"
+	"repro/internal/salehi"
+	"repro/internal/solc"
+	"repro/internal/u256"
+)
+
+var (
+	proxyAt = etypes.MustAddress("0x000000000000000000000000000000000000aa01")
+	logicAt = etypes.MustAddress("0x000000000000000000000000000000000000aa02")
+	adminAt = etypes.MustAddress("0x000000000000000000000000000000000000aa03")
+	sender  = etypes.MustAddress("0x000000000000000000000000000000000000aa04")
+)
+
+// guardedProxy declares owner at slot 0 and an owner-gated setLogic writing
+// the implementation slot.
+func guardedProxy(implSlot etypes.Hash) *solc.Contract {
+	return &solc.Contract{
+		Name: "Guarded",
+		Vars: []solc.Var{{Name: "owner", Type: solc.TypeAddress}},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "setLogic", Params: []string{"address"}},
+				Body: []solc.Stmt{
+					solc.RequireCallerIs{Var: "owner"},
+					solc.InlineAsm{Emit: func(p *asm.Program, _ func(string) string) {
+						p.PushUint(4).Op(evm.CALLDATALOAD).
+							Push(implSlot.Word()).Op(evm.SSTORE)
+					}},
+				}},
+		},
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateStorage, Slot: implSlot},
+	}
+}
+
+func buildChain(t *testing.T, proxySrc *solc.Contract, implSlot etypes.Hash, withTx bool) *chain.Chain {
+	t.Helper()
+	c := chain.New()
+	c.InstallContract(logicAt, []byte{0x00})
+	c.InstallContract(proxyAt, solc.MustCompile(proxySrc))
+	c.SetStorageDirect(proxyAt, implSlot, etypes.HashFromWord(logicAt.Word()))
+	c.SetStorageDirect(proxyAt, etypes.Hash{}, etypes.HashFromWord(adminAt.Word()))
+	if withTx {
+		c.Execute(sender, proxyAt, []byte{1, 2, 3, 4}, 0, u256.Zero())
+	}
+	return c
+}
+
+func TestIsProxyNeedsHistory(t *testing.T) {
+	implSlot := etypes.HashFromWord(u256.FromUint64(0x50))
+	c := buildChain(t, guardedProxy(implSlot), implSlot, false)
+	tool := salehi.New(c)
+	if tool.IsProxy(proxyAt) {
+		t.Error("transaction-less proxy visible to replay analysis")
+	}
+	c2 := buildChain(t, guardedProxy(implSlot), implSlot, true)
+	if !salehi.New(c2).IsProxy(proxyAt) {
+		t.Error("transacted proxy missed")
+	}
+}
+
+func TestWhoCanUpgradeRecoversAdmin(t *testing.T) {
+	implSlot := etypes.HashFromWord(u256.FromUint64(0x50))
+	c := buildChain(t, guardedProxy(implSlot), implSlot, true)
+	tool := salehi.New(c)
+
+	auth, ok := tool.WhoCanUpgrade(proxyAt, implSlot)
+	if !ok {
+		t.Fatal("analysis refused a transacted proxy")
+	}
+	if !auth.Upgradeable {
+		t.Fatal("guarded proxy should be upgradeable")
+	}
+	if auth.Unprotected {
+		t.Error("guarded upgrade path reported unprotected")
+	}
+	if auth.Admin != adminAt {
+		t.Errorf("admin = %s, want %s", auth.Admin, adminAt)
+	}
+	if auth.AdminSlot != (etypes.Hash{}) {
+		t.Errorf("admin slot = %s, want slot 0", auth.AdminSlot)
+	}
+}
+
+func TestWhoCanUpgradeUnprotected(t *testing.T) {
+	implSlot := etypes.HashFromWord(u256.FromUint64(0x50))
+	open := &solc.Contract{
+		Name: "Open",
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "setLogic", Params: []string{"address"}},
+				Body: []solc.Stmt{
+					solc.InlineAsm{Emit: func(p *asm.Program, _ func(string) string) {
+						p.PushUint(4).Op(evm.CALLDATALOAD).
+							Push(implSlot.Word()).Op(evm.SSTORE)
+					}},
+				}},
+		},
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateStorage, Slot: implSlot},
+	}
+	c := buildChain(t, open, implSlot, true)
+	auth, ok := salehi.New(c).WhoCanUpgrade(proxyAt, implSlot)
+	if !ok || !auth.Upgradeable {
+		t.Fatalf("auth = %+v ok=%v", auth, ok)
+	}
+	if !auth.Unprotected {
+		t.Error("anyone-can-upgrade proxy not flagged")
+	}
+}
+
+func TestWhoCanUpgradeMinimalProxy(t *testing.T) {
+	c := chain.New()
+	c.InstallContract(logicAt, []byte{0x00})
+	c.InstallContract(proxyAt, disasm.MinimalProxyRuntime(logicAt))
+	c.Execute(sender, proxyAt, []byte{1, 2, 3, 4}, 0, u256.Zero())
+
+	auth, ok := salehi.New(c).WhoCanUpgrade(proxyAt, etypes.Hash{})
+	if !ok {
+		t.Fatal("minimal proxy analysis refused")
+	}
+	if auth.Upgradeable {
+		t.Error("minimal proxy reported upgradeable")
+	}
+}
+
+func TestWhoCanUpgradeRefusesNoHistory(t *testing.T) {
+	implSlot := etypes.HashFromWord(u256.FromUint64(0x50))
+	c := buildChain(t, guardedProxy(implSlot), implSlot, false)
+	if _, ok := salehi.New(c).WhoCanUpgrade(proxyAt, implSlot); ok {
+		t.Error("replay analysis must refuse transaction-less contracts")
+	}
+}

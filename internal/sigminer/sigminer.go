@@ -1,0 +1,121 @@
+// Package sigminer brute-forces 4-byte function-selector collisions. The
+// paper uses this to demonstrate how cheaply an attacker crafts a honeypot:
+// a function whose selector equals an enticing function's selector (e.g.
+// impl_LUsXCWD2AKCc() colliding with free_ether_withdrawal(), found after
+// ~600M attempts on a laptop, Section 2.3).
+package sigminer
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/keccak"
+)
+
+// alphabet is the base-62 suffix alphabet used to enumerate candidates.
+const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+// CandidateName builds the n-th candidate function name with the given
+// prefix, e.g. prefix "impl" and n=0 gives "impl_a".
+func CandidateName(prefix string, n uint64) string {
+	var suffix []byte
+	for {
+		suffix = append(suffix, alphabet[n%62])
+		n /= 62
+		if n == 0 {
+			break
+		}
+	}
+	// Reverse for conventional ordering.
+	for i, j := 0, len(suffix)-1; i < j; i, j = i+1, j-1 {
+		suffix[i], suffix[j] = suffix[j], suffix[i]
+	}
+	return prefix + "_" + string(suffix)
+}
+
+// Result is a successful collision search.
+type Result struct {
+	// Prototype is the found signature, e.g. "impl_LUsXCWD2AKCc()".
+	Prototype string
+	// Attempts is how many candidates were hashed.
+	Attempts uint64
+}
+
+// Mine searches for a function prototype "<prefix>_<suffix>()" whose
+// selector's first matchBytes bytes equal target's. matchBytes of 4 is the
+// full collision an attacker needs (expected ~2^32/2 attempts); smaller
+// values let tests and benchmarks exercise the identical code path in
+// bounded time. The search fans out across CPUs and is deterministic: it
+// always returns the lowest-index match.
+func Mine(target [4]byte, prefix string, matchBytes int, maxAttempts uint64) (Result, bool) {
+	if matchBytes < 1 || matchBytes > 4 {
+		panic(fmt.Sprintf("sigminer: matchBytes must be 1..4, got %d", matchBytes))
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var (
+		wg       sync.WaitGroup
+		found    atomic.Uint64 // lowest matching index + 1 (0 = none)
+		attempts atomic.Uint64
+	)
+	const stride = 4096
+	var nextBlock atomic.Uint64
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := nextBlock.Add(stride) - stride
+				if start >= maxAttempts {
+					return
+				}
+				if f := found.Load(); f != 0 && f-1 < start {
+					return // a lower match already won
+				}
+				end := start + stride
+				if end > maxAttempts {
+					end = maxAttempts
+				}
+				for n := start; n < end; n++ {
+					proto := CandidateName(prefix, n) + "()"
+					sel := keccak.Selector(proto)
+					attempts.Add(1)
+					if matches(sel, target, matchBytes) {
+						// Keep the lowest-index match for determinism.
+						for {
+							cur := found.Load()
+							if cur != 0 && cur-1 <= n {
+								break
+							}
+							if found.CompareAndSwap(cur, n+1) {
+								break
+							}
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	f := found.Load()
+	if f == 0 {
+		return Result{Attempts: attempts.Load()}, false
+	}
+	return Result{
+		Prototype: CandidateName(prefix, f-1) + "()",
+		Attempts:  attempts.Load(),
+	}, true
+}
+
+func matches(sel, target [4]byte, n int) bool {
+	for i := 0; i < n; i++ {
+		if sel[i] != target[i] {
+			return false
+		}
+	}
+	return true
+}

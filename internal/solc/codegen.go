@@ -1,0 +1,396 @@
+package solc
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/etypes"
+	"repro/internal/evm"
+	"repro/internal/keccak"
+	"repro/internal/u256"
+)
+
+// compiler holds per-compilation state.
+type compiler struct {
+	contract *Contract
+	prog     *asm.Program
+	layout   map[string]SlotVar
+	labelSeq int
+}
+
+// Compile translates a contract into EVM runtime bytecode.
+func Compile(c *Contract) ([]byte, error) {
+	cc := &compiler{
+		contract: c,
+		prog:     &asm.Program{},
+		layout:   make(map[string]SlotVar),
+	}
+	for _, sv := range c.Layout() {
+		cc.layout[sv.Var.Name] = sv
+	}
+	if err := cc.emitRuntime(); err != nil {
+		return nil, err
+	}
+	code, err := cc.prog.Assemble()
+	if err != nil {
+		return nil, fmt.Errorf("solc: assembling %s: %w", c.Name, err)
+	}
+	return code, nil
+}
+
+// MustCompile is Compile that panics on error, for fixtures built from
+// trusted constants.
+func MustCompile(c *Contract) []byte {
+	code, err := Compile(c)
+	if err != nil {
+		panic(err)
+	}
+	return code
+}
+
+// CompileInit wraps runtime bytecode in standard deployment init code,
+// optionally preceded by constructor storage writes.
+func CompileInit(runtime []byte, storageInit map[etypes.Hash]etypes.Hash) []byte {
+	var p asm.Program
+	// Deterministic iteration for reproducible init code: emit writes in
+	// slot order.
+	for _, kv := range sortedStorage(storageInit) {
+		p.Push(kv.val.Word()).Push(kv.key.Word()).Op(evm.SSTORE)
+	}
+	p.PushUint(uint64(len(runtime))).PushLabel("runtime").PushUint(0).Op(evm.CODECOPY).
+		PushUint(uint64(len(runtime))).PushUint(0).Op(evm.RETURN).
+		DataLabel("runtime").Raw(runtime)
+	return p.MustAssemble()
+}
+
+type storageKV struct{ key, val etypes.Hash }
+
+func sortedStorage(m map[etypes.Hash]etypes.Hash) []storageKV {
+	out := make([]storageKV, 0, len(m))
+	for k, v := range m {
+		out = append(out, storageKV{k, v})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && lessHash(out[j].key, out[j-1].key); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func lessHash(a, b etypes.Hash) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// fresh returns a unique label.
+func (cc *compiler) fresh(prefix string) string {
+	cc.labelSeq++
+	return fmt.Sprintf("%s_%d", prefix, cc.labelSeq)
+}
+
+// emitRuntime generates the whole runtime: prelude, selector dispatcher,
+// fallback, and function bodies.
+func (cc *compiler) emitRuntime() error {
+	p := cc.prog
+	c := cc.contract
+
+	// Solidity's free-memory-pointer prelude, for bytecode realism.
+	p.PushUint(0x80).PushUint(0x40).Op(evm.MSTORE)
+
+	// Decoy PUSH4 constants: pushed and dropped, never compared.
+	for _, d := range c.DecoyPush4 {
+		p.PushBytes(d[:]).Op(evm.POP)
+	}
+
+	if len(c.Funcs) > 0 {
+		// if calldatasize < 4, go to fallback.
+		p.PushUint(4).Op(evm.CALLDATASIZE).Op(evm.LT).JumpI("fallback")
+		// selector = calldata[0] >> 224
+		p.PushUint(0).Op(evm.CALLDATALOAD).PushUint(0xe0).Op(evm.SHR)
+		for i, f := range c.Funcs {
+			sel := f.ABI.Selector()
+			p.Op(evm.DUP1).PushBytes(sel[:]).Op(evm.EQ).
+				JumpI(fmt.Sprintf("fn_%d", i))
+		}
+		// No selector matched: fall through into the fallback.
+	}
+
+	p.Label("fallback")
+	if err := cc.emitFallback(); err != nil {
+		return err
+	}
+
+	for i, f := range c.Funcs {
+		p.Label(fmt.Sprintf("fn_%d", i))
+		if len(c.Funcs) > 0 {
+			p.Op(evm.POP) // drop the DUP1'd selector
+		}
+		if err := cc.emitBody(f.Body); err != nil {
+			return fmt.Errorf("solc: %s.%s: %w", c.Name, f.ABI.Name, err)
+		}
+		p.Op(evm.STOP) // default terminator if the body falls through
+	}
+	return nil
+}
+
+// emitBody generates statements in order.
+func (cc *compiler) emitBody(body []Stmt) error {
+	for _, s := range body {
+		if err := cc.emitStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cc *compiler) emitStmt(s Stmt) error {
+	p := cc.prog
+	switch st := s.(type) {
+	case ReturnConst:
+		p.Push(st.Value)
+		cc.emitReturnTop()
+	case ReturnStorageVar:
+		if err := cc.emitReadVar(st.Var); err != nil {
+			return err
+		}
+		cc.emitReturnTop()
+	case ReturnCaller:
+		p.Op(evm.CALLER)
+		cc.emitReturnTop()
+	case AssignConst:
+		p.Push(st.Value)
+		return cc.emitWriteVar(st.Var)
+	case AssignCaller:
+		p.Op(evm.CALLER)
+		return cc.emitWriteVar(st.Var)
+	case AssignArg:
+		p.PushUint(uint64(4 + 32*st.Arg)).Op(evm.CALLDATALOAD)
+		return cc.emitWriteVar(st.Var)
+	case RequireVarZero:
+		if err := cc.emitReadVar(st.Var); err != nil {
+			return err
+		}
+		ok := cc.fresh("req_ok")
+		p.Op(evm.ISZERO).JumpI(ok)
+		p.PushUint(0).PushUint(0).Op(evm.REVERT)
+		p.Label(ok)
+	case RequireVarNonZero:
+		if err := cc.emitReadVar(st.Var); err != nil {
+			return err
+		}
+		ok := cc.fresh("req_ok")
+		p.JumpI(ok)
+		p.PushUint(0).PushUint(0).Op(evm.REVERT)
+		p.Label(ok)
+	case RequireCallerIs:
+		if err := cc.emitReadVar(st.Var); err != nil {
+			return err
+		}
+		ok := cc.fresh("auth_ok")
+		p.Op(evm.CALLER).Op(evm.EQ).JumpI(ok)
+		p.PushUint(0).PushUint(0).Op(evm.REVERT)
+		p.Label(ok)
+	case RequireInitializable:
+		ok := cc.fresh("init_ok")
+		if err := cc.emitReadVar(st.Initializing); err != nil {
+			return err
+		}
+		p.JumpI(ok) // initializing != 0 -> ok
+		if err := cc.emitReadVar(st.Initialized); err != nil {
+			return err
+		}
+		p.Op(evm.ISZERO).JumpI(ok) // !initialized -> ok
+		p.PushUint(0).PushUint(0).Op(evm.REVERT)
+		p.Label(ok)
+	case AssignCallerToSlot:
+		p.Op(evm.CALLER)
+		cc.emitWriteLoc(st.Slot.Word(), st.Offset, st.Size)
+	case ReturnSlotField:
+		cc.emitReadLoc(st.Slot.Word(), st.Offset, st.Size)
+		cc.emitReturnTop()
+	case SendToCaller:
+		p.PushUint(0).PushUint(0). // ret region
+						PushUint(0).PushUint(0). // args region
+						Push(st.Amount).         // value
+						Op(evm.CALLER).          // to
+						Op(evm.GAS).
+						Op(evm.CALL).Op(evm.POP)
+	case DelegateCallSig:
+		cc.emitConstructedDelegateCall(st.Target, st.Proto, st.Args)
+	case InlineAsm:
+		st.Emit(p, cc.fresh)
+	case Stop:
+		p.Op(evm.STOP)
+	case Revert:
+		p.PushUint(0).PushUint(0).Op(evm.REVERT)
+	default:
+		return fmt.Errorf("unsupported statement %T", s)
+	}
+	return nil
+}
+
+// emitReturnTop stores the top-of-stack word at memory 0 and returns it.
+func (cc *compiler) emitReturnTop() {
+	cc.prog.PushUint(0).Op(evm.MSTORE).
+		PushUint(32).PushUint(0).Op(evm.RETURN)
+}
+
+// emitReadVar loads a storage variable onto the stack, applying the
+// shift-and-mask sequence Solidity emits for packed variables.
+func (cc *compiler) emitReadVar(name string) error {
+	sv, ok := cc.layout[name]
+	if !ok {
+		return fmt.Errorf("undefined variable %q", name)
+	}
+	cc.emitReadLoc(u256.FromUint64(sv.Slot), sv.Offset, sv.Size)
+	return nil
+}
+
+// emitReadLoc loads the field at (slot, offset, size) onto the stack.
+func (cc *compiler) emitReadLoc(slot u256.Int, offset, size int) {
+	p := cc.prog
+	p.Push(slot).Op(evm.SLOAD)
+	if offset > 0 {
+		p.PushUint(uint64(offset * 8)).Op(evm.SHR)
+	}
+	if size < 32 {
+		p.Push(maskFor(size)).Op(evm.AND)
+	}
+}
+
+// emitWriteVar stores the top-of-stack value into a storage variable,
+// using read-modify-write for packed variables.
+func (cc *compiler) emitWriteVar(name string) error {
+	sv, ok := cc.layout[name]
+	if !ok {
+		return fmt.Errorf("undefined variable %q", name)
+	}
+	cc.emitWriteLoc(u256.FromUint64(sv.Slot), sv.Offset, sv.Size)
+	return nil
+}
+
+// emitWriteLoc stores the top-of-stack value into (slot, offset, size),
+// using read-modify-write when the field does not fill the slot.
+func (cc *compiler) emitWriteLoc(slot u256.Int, offset, size int) {
+	p := cc.prog
+	if offset == 0 && size == 32 {
+		p.Push(slot).Op(evm.SSTORE)
+		return
+	}
+	mask := maskFor(size)
+	clear := mask.Shl(uint(offset * 8)).Not()
+	// stack: value
+	p.Push(slot).Op(evm.SLOAD). // value, old
+					Push(clear).Op(evm.AND). // value, cleared
+					Op(evm.SWAP1).           // cleared, value
+					Push(mask).Op(evm.AND)   // cleared, value&mask
+	if offset > 0 {
+		p.PushUint(uint64(offset * 8)).Op(evm.SHL)
+	}
+	p.Op(evm.OR).Push(slot).Op(evm.SSTORE)
+}
+
+// maskFor returns the low-bits mask for a packed width.
+func maskFor(size int) u256.Int {
+	return u256.One().Shl(uint(size * 8)).Sub(u256.One())
+}
+
+// emitConstructedDelegateCall builds call data for proto(args...) in memory
+// and delegatecalls target with it. The call data is constructed, not
+// forwarded — the library idiom.
+func (cc *compiler) emitConstructedDelegateCall(target etypes.Address, proto string, args []u256.Int) {
+	p := cc.prog
+	sel := keccak.Selector(proto)
+	// mem[0..31] = selector left-aligned.
+	selWord := u256.FromBytes(sel[:]).Shl(224)
+	p.Push(selWord).PushUint(0).Op(evm.MSTORE)
+	for i, a := range args {
+		p.Push(a).PushUint(uint64(4 + 32*i)).Op(evm.MSTORE)
+	}
+	size := uint64(4 + 32*len(args))
+	p.PushUint(0).PushUint(0). // ret region
+					PushUint(size).PushUint(0). // args region
+					PushBytes(target[:]).
+					Op(evm.GAS).
+					Op(evm.DELEGATECALL).Op(evm.POP)
+}
+
+// emitForwardDelegateCall emits the canonical proxy fallback: copy the
+// entire incoming call data to memory, delegatecall the target, and bubble
+// the result up verbatim. pushTarget must leave the callee address on the
+// stack top.
+func (cc *compiler) emitForwardDelegateCall(pushTarget func()) {
+	p := cc.prog
+	ok := cc.fresh("dc_ok")
+	p.Op(evm.CALLDATASIZE).PushUint(0).PushUint(0).Op(evm.CALLDATACOPY)
+	p.PushUint(0).PushUint(0). // ret region (copied via returndata below)
+					Op(evm.CALLDATASIZE).PushUint(0) // args: mem[0..cds)
+	pushTarget()
+	p.Op(evm.GAS).Op(evm.DELEGATECALL)
+	p.Op(evm.RETURNDATASIZE).PushUint(0).PushUint(0).Op(evm.RETURNDATACOPY)
+	p.JumpI(ok)
+	p.Op(evm.RETURNDATASIZE).PushUint(0).Op(evm.REVERT)
+	p.Label(ok)
+	p.Op(evm.RETURNDATASIZE).PushUint(0).Op(evm.RETURN)
+}
+
+// emitFallback generates the fallback body for the contract's kind.
+func (cc *compiler) emitFallback() error {
+	p := cc.prog
+	fb := cc.contract.Fallback
+	switch fb.Kind {
+	case FallbackRevert:
+		p.PushUint(0).PushUint(0).Op(evm.REVERT)
+	case FallbackStop:
+		p.Op(evm.STOP)
+	case FallbackDelegateStorage:
+		cc.emitForwardDelegateCall(func() {
+			// Solidity casts the slot value to address: mask to 160 bits.
+			p.Push(fb.Slot.Word()).Op(evm.SLOAD).
+				Push(maskFor(20)).Op(evm.AND)
+		})
+	case FallbackDelegateHardcoded:
+		cc.emitForwardDelegateCall(func() {
+			p.PushBytes(fb.Target[:])
+		})
+	case FallbackDelegateDiamond:
+		cc.emitDiamondFallback(fb.Slot)
+	case FallbackLibraryCall:
+		cc.emitConstructedDelegateCall(fb.Target, fb.Proto, nil)
+		p.Op(evm.STOP)
+	default:
+		return fmt.Errorf("unknown fallback kind %d", fb.Kind)
+	}
+	return nil
+}
+
+// emitDiamondFallback implements the EIP-2535 shape: facet =
+// sload(keccak(selector, baseSlot)); unregistered selectors revert before
+// any DELEGATECALL executes, which is why emulation with random call data
+// cannot observe forwarding (the paper's acknowledged diamond limitation).
+func (cc *compiler) emitDiamondFallback(baseSlot etypes.Hash) {
+	p := cc.prog
+	miss := cc.fresh("facet_miss")
+	found := cc.fresh("facet_found")
+	// selector
+	p.PushUint(0).Op(evm.CALLDATALOAD).PushUint(0xe0).Op(evm.SHR)
+	// mem[0..31] = selector, mem[32..63] = base slot; facetSlot = keccak(mem[0:64])
+	p.PushUint(0).Op(evm.MSTORE)
+	p.Push(baseSlot.Word()).PushUint(32).Op(evm.MSTORE)
+	p.PushUint(64).PushUint(0).Op(evm.KECCAK256)
+	p.Op(evm.SLOAD) // facet address
+	p.Op(evm.DUP1).Op(evm.ISZERO).JumpI(miss)
+	p.Jump(found)
+	p.Label(miss)
+	p.PushUint(0).PushUint(0).Op(evm.REVERT)
+	p.Label(found)
+	// Facet is on the stack; forward the call data to it.
+	cc.emitForwardDelegateCall(func() {
+		p.Op(evm.DUP1 + 4) // DUP5: facet sits below retLen/retOff/argsLen/argsOff
+	})
+}

@@ -1,0 +1,186 @@
+package solc_test
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/chain"
+	"repro/internal/disasm"
+	"repro/internal/etypes"
+	"repro/internal/evm"
+	"repro/internal/solc"
+	"repro/internal/u256"
+)
+
+func TestCompileUndefinedVariableFails(t *testing.T) {
+	c := &solc.Contract{
+		Name: "Bad",
+		Funcs: []solc.Func{{
+			ABI:  abi.Function{Name: "f"},
+			Body: []solc.Stmt{solc.ReturnStorageVar{Var: "ghost"}},
+		}},
+	}
+	if _, err := solc.Compile(c); err == nil {
+		t.Error("undefined variable must fail compilation")
+	}
+}
+
+func TestSlotOfResolvesAndErrs(t *testing.T) {
+	c := &solc.Contract{
+		Name: "L",
+		Vars: []solc.Var{
+			{Name: "a", Type: solc.TypeUint128},
+			{Name: "b", Type: solc.TypeUint128},
+			{Name: "c", Type: solc.TypeBool},
+		},
+	}
+	sv, err := c.SlotOf("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.Slot != 0 || sv.Offset != 16 {
+		t.Errorf("b at slot %d offset %d", sv.Slot, sv.Offset)
+	}
+	if _, err := c.SlotOf("nope"); err == nil {
+		t.Error("unknown var should error")
+	}
+}
+
+func TestRequireVarNonZeroGuard(t *testing.T) {
+	c := &solc.Contract{
+		Name: "Gate",
+		Vars: []solc.Var{{Name: "open", Type: solc.TypeBool}},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "enter"},
+				Body: []solc.Stmt{
+					solc.RequireVarNonZero{Var: "open"},
+					solc.ReturnConst{Value: u256.One()},
+				}},
+			{ABI: abi.Function{Name: "unlock"},
+				Body: []solc.Stmt{solc.AssignConst{Var: "open", Value: u256.One()}}},
+		},
+	}
+	ch := chain.New()
+	addr := etypes.MustAddress("0x0000000000000000000000000000000000007001")
+	ch.InstallContract(addr, solc.MustCompile(c))
+	caller := etypes.MustAddress("0x0000000000000000000000000000000000007002")
+
+	enter := abi.EncodeCall(c.Funcs[0].ABI.Selector())
+	if rc := ch.Execute(caller, addr, enter, 0, u256.Zero()); rc.Status {
+		t.Error("gate should be closed initially")
+	}
+	unlock := abi.EncodeCall(c.Funcs[1].ABI.Selector())
+	if rc := ch.Execute(caller, addr, unlock, 0, u256.Zero()); !rc.Status {
+		t.Fatalf("unlock failed: %v", rc.Err)
+	}
+	if rc := ch.Execute(caller, addr, enter, 0, u256.Zero()); !rc.Status {
+		t.Errorf("gate should open after unlock: %v", rc.Err)
+	}
+}
+
+func TestShortCalldataRoutesToFallback(t *testing.T) {
+	c := &solc.Contract{
+		Name: "Short",
+		Funcs: []solc.Func{{
+			ABI:  abi.Function{Name: "f"},
+			Body: []solc.Stmt{solc.ReturnConst{Value: u256.One()}},
+		}},
+		Fallback: solc.Fallback{Kind: solc.FallbackStop},
+	}
+	ch := chain.New()
+	addr := etypes.MustAddress("0x0000000000000000000000000000000000007003")
+	ch.InstallContract(addr, solc.MustCompile(c))
+	caller := etypes.MustAddress("0x0000000000000000000000000000000000007004")
+
+	// 3 bytes: below the selector width, must take the fallback (STOP).
+	rc := ch.Execute(caller, addr, []byte{1, 2, 3}, 0, u256.Zero())
+	if !rc.Status || len(rc.Output) != 0 {
+		t.Errorf("short calldata: status=%v out=%x", rc.Status, rc.Output)
+	}
+	// Empty call data likewise.
+	rc = ch.Execute(caller, addr, nil, 0, u256.Zero())
+	if !rc.Status {
+		t.Errorf("empty calldata: %v", rc.Err)
+	}
+}
+
+func TestDelegateCallSigConstructsCalldata(t *testing.T) {
+	// The library receives selector+args built in memory, NOT the caller's
+	// call data.
+	libAddr := etypes.MustAddress("0x0000000000000000000000000000000000007005")
+	lib := &solc.Contract{
+		Name: "Lib",
+		Vars: []solc.Var{{Name: "seen", Type: solc.TypeUint256}},
+		Funcs: []solc.Func{{
+			ABI:  abi.Function{Name: "register", Params: []string{"uint256"}},
+			Body: []solc.Stmt{solc.AssignArg{Var: "seen", Arg: 0}},
+		}},
+	}
+	caller := &solc.Contract{
+		Name: "Caller",
+		Vars: []solc.Var{{Name: "seen", Type: solc.TypeUint256}},
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "go"},
+				Body: []solc.Stmt{
+					solc.DelegateCallSig{
+						Target: libAddr,
+						Proto:  "register(uint256)",
+						Args:   []u256.Int{u256.FromUint64(0x77)},
+					},
+					solc.ReturnStorageVar{Var: "seen"},
+				}},
+		},
+	}
+	ch := chain.New()
+	ch.InstallContract(libAddr, solc.MustCompile(lib))
+	addr := etypes.MustAddress("0x0000000000000000000000000000000000007006")
+	ch.InstallContract(addr, solc.MustCompile(caller))
+	sender := etypes.MustAddress("0x0000000000000000000000000000000000007007")
+
+	rc := ch.Execute(sender, addr, abi.EncodeCall(caller.Funcs[0].ABI.Selector()), 0, u256.Zero())
+	if !rc.Status {
+		t.Fatalf("go(): %v", rc.Err)
+	}
+	// register(0x77) ran in the CALLER's storage context via delegatecall.
+	if got := u256.FromBytes(rc.Output); got.Uint64() != 0x77 {
+		t.Errorf("seen = %s, want 0x77", got)
+	}
+}
+
+func TestCompileInitDeterministic(t *testing.T) {
+	runtime := []byte{byte(evm.STOP)}
+	storage := map[etypes.Hash]etypes.Hash{
+		etypes.HashFromWord(u256.FromUint64(3)): etypes.HashFromWord(u256.FromUint64(30)),
+		etypes.HashFromWord(u256.FromUint64(1)): etypes.HashFromWord(u256.FromUint64(10)),
+		etypes.HashFromWord(u256.FromUint64(2)): etypes.HashFromWord(u256.FromUint64(20)),
+	}
+	a := solc.CompileInit(runtime, storage)
+	b := solc.CompileInit(runtime, storage)
+	if string(a) != string(b) {
+		t.Error("init code not deterministic across map iteration orders")
+	}
+}
+
+func TestEveryFallbackKindCompilesAndClassifies(t *testing.T) {
+	target := etypes.MustAddress("0x0000000000000000000000000000000000007008")
+	kinds := []solc.Fallback{
+		{Kind: solc.FallbackRevert},
+		{Kind: solc.FallbackStop},
+		{Kind: solc.FallbackDelegateStorage, Slot: etypes.HashFromWord(u256.One())},
+		{Kind: solc.FallbackDelegateHardcoded, Target: target},
+		{Kind: solc.FallbackDelegateDiamond, Slot: etypes.HashFromWord(u256.FromUint64(9))},
+		{Kind: solc.FallbackLibraryCall, Target: target, Proto: "f()"},
+	}
+	for i, fb := range kinds {
+		c := &solc.Contract{Name: "FB", Fallback: fb}
+		code, err := solc.Compile(c)
+		if err != nil {
+			t.Fatalf("kind %d: %v", i, err)
+		}
+		hasDC := disasm.ContainsOp(code, evm.DELEGATECALL)
+		wantDC := fb.Kind != solc.FallbackRevert && fb.Kind != solc.FallbackStop
+		if hasDC != wantDC {
+			t.Errorf("kind %d: delegatecall presence = %v, want %v", i, hasDC, wantDC)
+		}
+	}
+}

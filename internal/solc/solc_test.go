@@ -1,0 +1,476 @@
+package solc_test
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/chain"
+	"repro/internal/disasm"
+	"repro/internal/etypes"
+	"repro/internal/solc"
+	"repro/internal/u256"
+)
+
+var (
+	owner    = etypes.MustAddress("0x0000000000000000000000000000000000000e0e")
+	attacker = etypes.MustAddress("0x0000000000000000000000000000000000000bad")
+	victim   = etypes.MustAddress("0x00000000000000000000000000000000000f00d1")
+)
+
+func deploy(t *testing.T, c *chain.Chain, addr string, contract *solc.Contract) etypes.Address {
+	t.Helper()
+	a := etypes.MustAddress(addr)
+	code, err := solc.Compile(contract)
+	if err != nil {
+		t.Fatalf("compile %s: %v", contract.Name, err)
+	}
+	c.InstallContract(a, code)
+	return a
+}
+
+func TestLayoutPacking(t *testing.T) {
+	vars := []solc.Var{
+		{Name: "a", Type: solc.TypeBool},    // slot 0 offset 0
+		{Name: "b", Type: solc.TypeBool},    // slot 0 offset 1
+		{Name: "c", Type: solc.TypeAddress}, // slot 0 offset 2 (fits: 2+20 <= 32)
+		{Name: "d", Type: solc.TypeUint256}, // slot 1 (full)
+		{Name: "e", Type: solc.TypeUint128}, // slot 2 offset 0
+		{Name: "f", Type: solc.TypeUint128}, // slot 2 offset 16
+		{Name: "g", Type: solc.TypeUint8},   // slot 3 (slot 2 exactly full)
+		{Name: "h", Type: solc.TypeMapping}, // slot 4 (mappings own a slot)
+	}
+	want := []struct {
+		slot   uint64
+		offset int
+	}{
+		{0, 0}, {0, 1}, {0, 2}, {1, 0}, {2, 0}, {2, 16}, {3, 0}, {4, 0},
+	}
+	layout := solc.Layout(vars)
+	for i, w := range want {
+		if layout[i].Slot != w.slot || layout[i].Offset != w.offset {
+			t.Errorf("%s: got slot %d offset %d, want slot %d offset %d",
+				vars[i].Name, layout[i].Slot, layout[i].Offset, w.slot, w.offset)
+		}
+	}
+}
+
+func TestGetterSetterRoundTrip(t *testing.T) {
+	contract := &solc.Contract{
+		Name: "Store",
+		Vars: []solc.Var{
+			{Name: "flag", Type: solc.TypeBool},
+			{Name: "who", Type: solc.TypeAddress},
+			{Name: "count", Type: solc.TypeUint256},
+		},
+		Funcs: []solc.Func{
+			{
+				ABI:  abi.Function{Name: "setCount", Params: []string{"uint256"}},
+				Body: []solc.Stmt{solc.AssignArg{Var: "count", Arg: 0}},
+			},
+			{
+				ABI:  abi.Function{Name: "count"},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: "count"}},
+			},
+			{
+				ABI:  abi.Function{Name: "setWho"},
+				Body: []solc.Stmt{solc.AssignCaller{Var: "who"}},
+			},
+			{
+				ABI:  abi.Function{Name: "who"},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: "who"}},
+			},
+			{
+				ABI:  abi.Function{Name: "enable"},
+				Body: []solc.Stmt{solc.AssignConst{Var: "flag", Value: u256.One()}},
+			},
+			{
+				ABI:  abi.Function{Name: "flag"},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: "flag"}},
+			},
+		},
+	}
+	c := chain.New()
+	addr := deploy(t, c, "0x0000000000000000000000000000000000005001", contract)
+
+	set := contract.Funcs[0].ABI.Selector()
+	get := contract.Funcs[1].ABI.Selector()
+	if rc := c.Execute(owner, addr, abi.EncodeCall(set, u256.FromUint64(789)), 0, u256.Zero()); !rc.Status {
+		t.Fatalf("setCount: %v", rc.Err)
+	}
+	rc := c.Execute(owner, addr, abi.EncodeCall(get), 0, u256.Zero())
+	if !rc.Status {
+		t.Fatalf("count(): %v", rc.Err)
+	}
+	if got := u256.FromBytes(rc.Output); got.Uint64() != 789 {
+		t.Errorf("count = %s, want 789", got)
+	}
+
+	// Packed vars: setWho must not clobber flag and vice versa.
+	enable := contract.Funcs[4].ABI.Selector()
+	setWho := contract.Funcs[2].ABI.Selector()
+	getWho := contract.Funcs[3].ABI.Selector()
+	getFlag := contract.Funcs[5].ABI.Selector()
+	if rc := c.Execute(owner, addr, abi.EncodeCall(enable), 0, u256.Zero()); !rc.Status {
+		t.Fatalf("enable: %v", rc.Err)
+	}
+	if rc := c.Execute(owner, addr, abi.EncodeCall(setWho), 0, u256.Zero()); !rc.Status {
+		t.Fatalf("setWho: %v", rc.Err)
+	}
+	rc = c.Execute(owner, addr, abi.EncodeCall(getWho), 0, u256.Zero())
+	if got := etypes.AddressFromWord(u256.FromBytes(rc.Output)); got != owner {
+		t.Errorf("who = %s, want %s", got, owner)
+	}
+	rc = c.Execute(owner, addr, abi.EncodeCall(getFlag), 0, u256.Zero())
+	if got := u256.FromBytes(rc.Output); got.Uint64() != 1 {
+		t.Errorf("flag clobbered by packed neighbour write: %s", got)
+	}
+}
+
+func TestFallbackRevertOnUnknownSelector(t *testing.T) {
+	contract := &solc.Contract{
+		Name: "Strict",
+		Funcs: []solc.Func{{
+			ABI:  abi.Function{Name: "ping"},
+			Body: []solc.Stmt{solc.ReturnConst{Value: u256.One()}},
+		}},
+	}
+	c := chain.New()
+	addr := deploy(t, c, "0x0000000000000000000000000000000000005002", contract)
+	rc := c.Execute(owner, addr, []byte{0xde, 0xad, 0xbe, 0xef}, 0, u256.Zero())
+	if rc.Status {
+		t.Error("unknown selector should revert with FallbackRevert")
+	}
+	sel := contract.Funcs[0].ABI.Selector()
+	rc = c.Execute(owner, addr, abi.EncodeCall(sel), 0, u256.Zero())
+	if !rc.Status || u256.FromBytes(rc.Output).Uint64() != 1 {
+		t.Errorf("ping failed: %v output %x", rc.Err, rc.Output)
+	}
+}
+
+func TestProxyForwardsToStorageImplementation(t *testing.T) {
+	// Logic: value() returns storage var "value" (slot 1 in proxy layout).
+	logic := &solc.Contract{
+		Name: "LogicV1",
+		Vars: []solc.Var{
+			{Name: "ignored", Type: solc.TypeAddress}, // mirrors proxy slot 0
+			{Name: "value", Type: solc.TypeUint256},   // slot 1
+		},
+		Funcs: []solc.Func{
+			{
+				ABI:  abi.Function{Name: "value"},
+				Body: []solc.Stmt{solc.ReturnStorageVar{Var: "value"}},
+			},
+			{
+				ABI:  abi.Function{Name: "setValue", Params: []string{"uint256"}},
+				Body: []solc.Stmt{solc.AssignArg{Var: "value", Arg: 0}},
+			},
+		},
+	}
+	implSlot := etypes.Hash{} // implementation address in slot 0
+	proxy := &solc.Contract{
+		Name:     "Proxy",
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateStorage, Slot: implSlot},
+	}
+
+	c := chain.New()
+	logicAddr := deploy(t, c, "0x0000000000000000000000000000000000005004", logic)
+	proxyAddr := deploy(t, c, "0x0000000000000000000000000000000000005003", proxy)
+	c.SetStorageDirect(proxyAddr, implSlot, etypes.HashFromWord(logicAddr.Word()))
+
+	setSel := logic.Funcs[1].ABI.Selector()
+	getSel := logic.Funcs[0].ABI.Selector()
+	if rc := c.Execute(owner, proxyAddr, abi.EncodeCall(setSel, u256.FromUint64(4242)), 0, u256.Zero()); !rc.Status {
+		t.Fatalf("proxied setValue: %v", rc.Err)
+	}
+	rc := c.Execute(owner, proxyAddr, abi.EncodeCall(getSel), 0, u256.Zero())
+	if !rc.Status {
+		t.Fatalf("proxied value(): %v", rc.Err)
+	}
+	if got := u256.FromBytes(rc.Output); got.Uint64() != 4242 {
+		t.Errorf("proxied value = %s, want 4242", got)
+	}
+	// The write landed in the proxy's storage, not the logic's.
+	slot1 := etypes.HashFromWord(u256.One())
+	if got := c.GetState(proxyAddr, slot1).Word(); got.Uint64() != 4242 {
+		t.Errorf("proxy slot1 = %s, want 4242", got)
+	}
+	if got := c.GetState(logicAddr, slot1); got != (etypes.Hash{}) {
+		t.Errorf("logic storage polluted: %s", got)
+	}
+	// Revert bubbling: unknown selector forwards to logic whose dispatcher
+	// reverts, and the proxy must bubble that revert.
+	rc = c.Execute(owner, proxyAddr, []byte{1, 2, 3, 4}, 0, u256.Zero())
+	if rc.Status {
+		t.Error("proxy should bubble logic's revert")
+	}
+}
+
+func TestFunctionCollisionShadowsLogic(t *testing.T) {
+	// The paper's Listing 1 structure: a proxy function whose selector
+	// equals a logic function's selector shadows it — callers reach the
+	// proxy body, never the logic.
+	shared := abi.Function{Name: "claim"}
+	logic := &solc.Contract{
+		Name: "Lure",
+		Funcs: []solc.Func{{
+			ABI:  shared,
+			Body: []solc.Stmt{solc.ReturnConst{Value: u256.FromUint64(10)}},
+		}},
+	}
+	proxy := &solc.Contract{
+		Name: "Trap",
+		Vars: []solc.Var{{Name: "impl", Type: solc.TypeAddress}},
+		Funcs: []solc.Func{{
+			ABI:  shared, // same selector: collision
+			Body: []solc.Stmt{solc.ReturnConst{Value: u256.FromUint64(666)}},
+		}},
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateStorage},
+	}
+	c := chain.New()
+	logicAddr := deploy(t, c, "0x0000000000000000000000000000000000005006", logic)
+	proxyAddr := deploy(t, c, "0x0000000000000000000000000000000000005005", proxy)
+	c.SetStorageDirect(proxyAddr, etypes.Hash{}, etypes.HashFromWord(logicAddr.Word()))
+
+	rc := c.Execute(victim, proxyAddr, abi.EncodeCall(shared.Selector()), 0, u256.Zero())
+	if !rc.Status {
+		t.Fatalf("claim: %v", rc.Err)
+	}
+	if got := u256.FromBytes(rc.Output); got.Uint64() != 666 {
+		t.Errorf("collided call returned %s; proxy function must shadow logic", got)
+	}
+}
+
+func TestAudiusStorageCollisionReplay(t *testing.T) {
+	// Listing 2: proxy stores owner (address) at slot 0; logic packs
+	// initialized+initializing bools at slot 0. initialize() can be called
+	// repeatedly because writing owner corrupts the guard bits.
+	// The logic declares the guard bools at slot 0; `owner` comes from a
+	// different contract in its inheritance chain whose layout also starts
+	// at slot 0 — so assigning it writes the address over the guard bytes.
+	ownerLoc := struct {
+		slot   etypes.Hash
+		offset int
+		size   int
+	}{etypes.Hash{}, 0, 20}
+	logic := &solc.Contract{
+		Name: "AudiusLogic",
+		Vars: []solc.Var{
+			{Name: "initialized", Type: solc.TypeBool},
+			{Name: "initializing", Type: solc.TypeBool},
+		},
+		Funcs: []solc.Func{
+			{
+				ABI: abi.Function{Name: "initialize"},
+				Body: []solc.Stmt{
+					solc.RequireInitializable{Initialized: "initialized", Initializing: "initializing"},
+					solc.AssignConst{Var: "initialized", Value: u256.One()},
+					solc.AssignConst{Var: "initializing", Value: u256.Zero()},
+					solc.AssignCallerToSlot{Slot: ownerLoc.slot, Offset: ownerLoc.offset, Size: ownerLoc.size},
+				},
+			},
+			{
+				ABI:  abi.Function{Name: "owner"},
+				Body: []solc.Stmt{solc.ReturnSlotField{Slot: ownerLoc.slot, Offset: ownerLoc.offset, Size: ownerLoc.size}},
+			},
+		},
+	}
+	proxy := &solc.Contract{
+		Name: "AudiusProxy",
+		Vars: []solc.Var{
+			{Name: "owner", Type: solc.TypeAddress}, // slot 0: collides
+			{Name: "logic", Type: solc.TypeAddress}, // slot 1
+		},
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateStorage, Slot: etypes.HashFromWord(u256.One())},
+	}
+	c := chain.New()
+	logicAddr := deploy(t, c, "0x0000000000000000000000000000000000005008", logic)
+	proxyAddr := deploy(t, c, "0x0000000000000000000000000000000000005007", proxy)
+	c.SetStorageDirect(proxyAddr, etypes.HashFromWord(u256.One()), etypes.HashFromWord(logicAddr.Word()))
+
+	initSel := logic.Funcs[0].ABI.Selector()
+	ownerSel := logic.Funcs[1].ABI.Selector()
+
+	// The legitimate owner initializes.
+	if rc := c.Execute(owner, proxyAddr, abi.EncodeCall(initSel), 0, u256.Zero()); !rc.Status {
+		t.Fatalf("first initialize: %v", rc.Err)
+	}
+	// The attacker re-initializes — this MUST succeed because of the
+	// storage collision (the guard reads bytes of the owner address).
+	if rc := c.Execute(attacker, proxyAddr, abi.EncodeCall(initSel), 0, u256.Zero()); !rc.Status {
+		t.Fatalf("attacker re-initialize should succeed via collision, got %v", rc.Err)
+	}
+	rc := c.Execute(victim, proxyAddr, abi.EncodeCall(ownerSel), 0, u256.Zero())
+	got := etypes.AddressFromWord(u256.FromBytes(rc.Output))
+	if got != attacker {
+		t.Errorf("owner after exploit = %s, want attacker %s", got, attacker)
+	}
+}
+
+func TestLibraryCallIsNotForwarding(t *testing.T) {
+	lib := etypes.MustAddress("0x0000000000000000000000000000000000005100")
+	contract := &solc.Contract{
+		Name: "UsesLib",
+		Fallback: solc.Fallback{
+			Kind:   solc.FallbackLibraryCall,
+			Target: lib,
+			Proto:  "sqrt(uint256)",
+		},
+	}
+	code := solc.MustCompile(contract)
+	// The library idiom contains DELEGATECALL...
+	if !disasm.ContainsOp(code, 0xf4) {
+		t.Fatal("library-call contract must contain DELEGATECALL")
+	}
+	// ...and executing it calls the library with constructed 4-byte data,
+	// not the forwarded call data.
+	c := chain.New()
+	addr := etypes.MustAddress("0x0000000000000000000000000000000000005101")
+	c.InstallContract(addr, code)
+	c.InstallContract(lib, []byte{0x00}) // STOP
+	rc := c.Execute(owner, addr, []byte{9, 9, 9, 9, 9, 9, 9, 9}, 0, u256.Zero())
+	if !rc.Status {
+		t.Fatalf("library call: %v", rc.Err)
+	}
+	events := c.DelegateEvents()
+	if len(events) != 1 || events[0].Logic != lib {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestDiamondFallback(t *testing.T) {
+	facetAddr := etypes.MustAddress("0x0000000000000000000000000000000000005200")
+	facet := &solc.Contract{
+		Name: "Facet",
+		Funcs: []solc.Func{{
+			ABI:  abi.Function{Name: "facetFn"},
+			Body: []solc.Stmt{solc.ReturnConst{Value: u256.FromUint64(77)}},
+		}},
+	}
+	baseSlot := etypes.HashFromWord(u256.FromUint64(0x2535))
+	diamond := &solc.Contract{
+		Name:     "Diamond",
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateDiamond, Slot: baseSlot},
+	}
+	c := chain.New()
+	c.InstallContract(facetAddr, solc.MustCompile(facet))
+	dAddr := etypes.MustAddress("0x0000000000000000000000000000000000005201")
+	c.InstallContract(dAddr, solc.MustCompile(diamond))
+
+	// Register facetFn's selector in the diamond's facet mapping:
+	// slot = keccak(selector_word ++ baseSlot).
+	sel := facet.Funcs[0].ABI.Selector()
+	selWord := u256.FromBytes(sel[:]).Shl(224).Shr(224) // selector as low 4 bytes
+	pre := make([]byte, 64)
+	sw := selWord.Bytes32()
+	copy(pre[:32], sw[:])
+	copy(pre[32:], baseSlot[:])
+	facetSlot := etypes.Keccak(pre)
+	c.SetStorageDirect(dAddr, facetSlot, etypes.HashFromWord(facetAddr.Word()))
+
+	// Registered selector: forwarded.
+	rc := c.Execute(owner, dAddr, abi.EncodeCall(sel), 0, u256.Zero())
+	if !rc.Status {
+		t.Fatalf("registered facet call: %v", rc.Err)
+	}
+	if got := u256.FromBytes(rc.Output); got.Uint64() != 77 {
+		t.Errorf("facet output = %s, want 77", got)
+	}
+	// Unregistered selector: reverts before any delegatecall.
+	before := len(c.DelegateEvents())
+	rc = c.Execute(owner, dAddr, []byte{0xaa, 0xbb, 0xcc, 0xdd}, 0, u256.Zero())
+	if rc.Status {
+		t.Error("unregistered selector should revert")
+	}
+	if len(c.DelegateEvents()) != before {
+		t.Error("unregistered facet call still emitted a delegatecall")
+	}
+}
+
+func TestDispatcherSelectorsMatchABI(t *testing.T) {
+	contract := &solc.Contract{
+		Name: "Multi",
+		Funcs: []solc.Func{
+			{ABI: abi.Function{Name: "alpha"}, Body: []solc.Stmt{solc.Stop{}}},
+			{ABI: abi.Function{Name: "beta", Params: []string{"uint256"}}, Body: []solc.Stmt{solc.Stop{}}},
+			{ABI: abi.Function{Name: "gamma", Params: []string{"address", "uint256"}}, Body: []solc.Stmt{solc.Stop{}}},
+		},
+		DecoyPush4: [][4]byte{{0x11, 0x22, 0x33, 0x44}, {0xca, 0xfe, 0xba, 0xbe}},
+	}
+	code := solc.MustCompile(contract)
+
+	got := disasm.DispatcherSelectors(code)
+	want := contract.Selectors()
+	if len(got) != len(want) {
+		t.Fatalf("dispatcher selectors = %d, want %d: %x", len(got), len(want), got)
+	}
+	wantSet := map[[4]byte]bool{}
+	for _, s := range want {
+		wantSet[s] = true
+	}
+	for _, s := range got {
+		if !wantSet[s] {
+			t.Errorf("unexpected selector %x (decoy leaked into dispatcher set?)", s)
+		}
+	}
+	// The naive any-PUSH4 scan must also pick up the decoys.
+	naive := disasm.Push4Candidates(code)
+	if len(naive) != len(want)+2 {
+		t.Errorf("push4 candidates = %d, want %d", len(naive), len(want)+2)
+	}
+}
+
+func TestCompileInitDeploysWithConstructorStorage(t *testing.T) {
+	contract := &solc.Contract{
+		Name: "Ctor",
+		Vars: []solc.Var{{Name: "x", Type: solc.TypeUint256}},
+		Funcs: []solc.Func{{
+			ABI:  abi.Function{Name: "x"},
+			Body: []solc.Stmt{solc.ReturnStorageVar{Var: "x"}},
+		}},
+	}
+	runtime := solc.MustCompile(contract)
+	init := solc.CompileInit(runtime, map[etypes.Hash]etypes.Hash{
+		{}: etypes.HashFromWord(u256.FromUint64(31337)),
+	})
+	c := chain.New()
+	rc := c.Deploy(owner, init, 0, u256.Zero())
+	if !rc.Status {
+		t.Fatalf("deploy: %v", rc.Err)
+	}
+	if string(c.Code(rc.ContractAddress)) != string(runtime) {
+		t.Error("runtime mismatch after init-code deployment")
+	}
+	sel := contract.Funcs[0].ABI.Selector()
+	out := c.Execute(owner, rc.ContractAddress, abi.EncodeCall(sel), 0, u256.Zero())
+	if got := u256.FromBytes(out.Output); got.Uint64() != 31337 {
+		t.Errorf("constructor-initialized x = %s, want 31337", got)
+	}
+}
+
+func TestMinimalProxyRoundTrip(t *testing.T) {
+	logicAddr := etypes.MustAddress("0x0000000000000000000000000000000000005300")
+	code := disasm.MinimalProxyRuntime(logicAddr)
+	if got, ok := disasm.MinimalProxyTarget(code); !ok || got != logicAddr {
+		t.Fatalf("minimal proxy target = %s ok=%v", got, ok)
+	}
+	// Executing the EIP-1167 runtime must actually forward.
+	logic := &solc.Contract{
+		Name: "CloneLogic",
+		Funcs: []solc.Func{{
+			ABI:  abi.Function{Name: "magic"},
+			Body: []solc.Stmt{solc.ReturnConst{Value: u256.FromUint64(0x1167)}},
+		}},
+	}
+	c := chain.New()
+	c.InstallContract(logicAddr, solc.MustCompile(logic))
+	cloneAddr := etypes.MustAddress("0x0000000000000000000000000000000000005301")
+	c.InstallContract(cloneAddr, code)
+	sel := logic.Funcs[0].ABI.Selector()
+	rc := c.Execute(owner, cloneAddr, abi.EncodeCall(sel), 0, u256.Zero())
+	if !rc.Status {
+		t.Fatalf("minimal proxy call: %v", rc.Err)
+	}
+	if got := u256.FromBytes(rc.Output); got.Uint64() != 0x1167 {
+		t.Errorf("minimal proxy output = %s", got)
+	}
+}

@@ -1,0 +1,107 @@
+package solc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SourceText renders the contract as pseudo-Solidity. This is what the
+// simulated Etherscan serves as "verified source": not compilable by the
+// real solc, but carrying exactly the information source-level analyses
+// consume — declaration order and types of storage variables, function
+// signatures, and the fallback's behaviour.
+func (c *Contract) SourceText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "contract %s {\n", c.Name)
+	for _, v := range c.Vars {
+		fmt.Fprintf(&b, "    %s private %s;\n", v.Type, v.Name)
+	}
+	if len(c.Vars) > 0 && (len(c.Funcs) > 0 || c.Fallback.Kind != FallbackRevert) {
+		b.WriteString("\n")
+	}
+	for _, f := range c.Funcs {
+		fmt.Fprintf(&b, "    function %s external {\n", signatureWithParams(f))
+		for _, s := range f.Body {
+			fmt.Fprintf(&b, "        %s\n", stmtText(s))
+		}
+		b.WriteString("    }\n")
+	}
+	if fb := fallbackText(c.Fallback); fb != "" {
+		fmt.Fprintf(&b, "    fallback(bytes calldata input) external {\n        %s\n    }\n", fb)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func signatureWithParams(f Func) string {
+	if len(f.ABI.Params) == 0 {
+		return f.ABI.Name + "()"
+	}
+	parts := make([]string, len(f.ABI.Params))
+	for i, p := range f.ABI.Params {
+		parts[i] = fmt.Sprintf("%s arg%d", p, i)
+	}
+	return f.ABI.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func stmtText(s Stmt) string {
+	switch st := s.(type) {
+	case ReturnConst:
+		return fmt.Sprintf("return %s;", st.Value)
+	case ReturnStorageVar:
+		return fmt.Sprintf("return %s;", st.Var)
+	case ReturnCaller:
+		return "return msg.sender;"
+	case AssignConst:
+		return fmt.Sprintf("%s = %s;", st.Var, st.Value)
+	case AssignCaller:
+		return fmt.Sprintf("%s = msg.sender;", st.Var)
+	case AssignArg:
+		return fmt.Sprintf("%s = arg%d;", st.Var, st.Arg)
+	case RequireVarZero:
+		return fmt.Sprintf("require(%s == 0);", st.Var)
+	case RequireVarNonZero:
+		return fmt.Sprintf("require(%s != 0);", st.Var)
+	case RequireCallerIs:
+		return fmt.Sprintf("require(msg.sender == %s);", st.Var)
+	case RequireInitializable:
+		return fmt.Sprintf("require(%s || !%s);", st.Initializing, st.Initialized)
+	case AssignCallerToSlot:
+		return fmt.Sprintf("owner = msg.sender; // inherited layout: slot %s, bytes [%d,%d)",
+			st.Slot, st.Offset, st.Offset+st.Size)
+	case ReturnSlotField:
+		return fmt.Sprintf("return owner; // inherited layout: slot %s, bytes [%d,%d)",
+			st.Slot, st.Offset, st.Offset+st.Size)
+	case SendToCaller:
+		return fmt.Sprintf("payable(msg.sender).transfer(%s);", st.Amount)
+	case DelegateCallSig:
+		return fmt.Sprintf("%s.delegatecall(abi.encodeWithSignature(%q, ...));", st.Target, st.Proto)
+	case InlineAsm:
+		return "assembly { /* inline */ }"
+	case Stop:
+		return "return;"
+	case Revert:
+		return "revert();"
+	default:
+		return fmt.Sprintf("/* %T */", s)
+	}
+}
+
+func fallbackText(fb Fallback) string {
+	switch fb.Kind {
+	case FallbackRevert:
+		return ""
+	case FallbackStop:
+		return "// accept"
+	case FallbackDelegateStorage:
+		return fmt.Sprintf("sload(%s).delegatecall(input); // forward", fb.Slot)
+	case FallbackDelegateHardcoded:
+		return fmt.Sprintf("%s.delegatecall(input); // forward to fixed logic", fb.Target)
+	case FallbackDelegateDiamond:
+		return fmt.Sprintf("facets[msg.sig].delegatecall(input); // EIP-2535, table at %s", fb.Slot)
+	case FallbackLibraryCall:
+		return fmt.Sprintf("%s.delegatecall(abi.encodeWithSignature(%q)); // library call", fb.Target, fb.Proto)
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,109 @@
+package solc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/etypes"
+	"repro/internal/solc"
+	"repro/internal/u256"
+)
+
+func TestSourceTextRendersDeclarations(t *testing.T) {
+	c := &solc.Contract{
+		Name: "Proxy",
+		Vars: []solc.Var{
+			{Name: "owner", Type: solc.TypeAddress},
+			{Name: "logic", Type: solc.TypeAddress},
+		},
+		Funcs: []solc.Func{
+			{
+				ABI: abi.Function{Name: "upgradeTo", Params: []string{"address"}},
+				Body: []solc.Stmt{
+					solc.RequireCallerIs{Var: "owner"},
+					solc.AssignArg{Var: "logic", Arg: 0},
+				},
+			},
+		},
+		Fallback: solc.Fallback{
+			Kind: solc.FallbackDelegateStorage,
+			Slot: etypes.HashFromWord(u256.One()),
+		},
+	}
+	src := c.SourceText()
+	for _, want := range []string{
+		"contract Proxy {",
+		"address private owner;",
+		"address private logic;",
+		"function upgradeTo(address arg0) external {",
+		"require(msg.sender == owner);",
+		"logic = arg0;",
+		"fallback(bytes calldata input) external {",
+		"delegatecall(input); // forward",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestSourceTextCoversEveryStatement(t *testing.T) {
+	c := &solc.Contract{
+		Name: "Everything",
+		Vars: []solc.Var{{Name: "x", Type: solc.TypeUint256}},
+		Funcs: []solc.Func{{
+			ABI: abi.Function{Name: "all"},
+			Body: []solc.Stmt{
+				solc.ReturnConst{Value: u256.One()},
+				solc.ReturnStorageVar{Var: "x"},
+				solc.ReturnCaller{},
+				solc.AssignConst{Var: "x", Value: u256.One()},
+				solc.AssignCaller{Var: "x"},
+				solc.AssignArg{Var: "x", Arg: 0},
+				solc.RequireVarZero{Var: "x"},
+				solc.RequireVarNonZero{Var: "x"},
+				solc.RequireCallerIs{Var: "x"},
+				solc.RequireInitializable{Initialized: "a", Initializing: "b"},
+				solc.AssignCallerToSlot{Slot: etypes.Hash{}, Size: 20},
+				solc.ReturnSlotField{Slot: etypes.Hash{}, Size: 20},
+				solc.SendToCaller{Amount: u256.FromUint64(10)},
+				solc.DelegateCallSig{Proto: "f()"},
+				solc.Stop{},
+				solc.Revert{},
+			},
+		}},
+	}
+	src := c.SourceText()
+	if strings.Contains(src, "%!") || strings.Contains(src, "/* solc.") {
+		t.Errorf("unrendered statement in:\n%s", src)
+	}
+	for _, want := range []string{"require(b || !a);", "payable(msg.sender).transfer", "revert();"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestSourceTextFallbackKinds(t *testing.T) {
+	kinds := []struct {
+		fb   solc.Fallback
+		want string
+	}{
+		{solc.Fallback{Kind: solc.FallbackStop}, "// accept"},
+		{solc.Fallback{Kind: solc.FallbackDelegateHardcoded}, "forward to fixed logic"},
+		{solc.Fallback{Kind: solc.FallbackDelegateDiamond}, "EIP-2535"},
+		{solc.Fallback{Kind: solc.FallbackLibraryCall, Proto: "sqrt(uint256)"}, "library call"},
+	}
+	for _, k := range kinds {
+		c := &solc.Contract{Name: "X", Fallback: k.fb}
+		if !strings.Contains(c.SourceText(), k.want) {
+			t.Errorf("fallback kind %d: missing %q in\n%s", k.fb.Kind, k.want, c.SourceText())
+		}
+	}
+	// Default (revert) fallback renders no fallback block.
+	c := &solc.Contract{Name: "X"}
+	if strings.Contains(c.SourceText(), "fallback") {
+		t.Error("revert fallback should render nothing")
+	}
+}

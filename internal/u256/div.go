@@ -1,0 +1,173 @@
+package u256
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// two256 is 2^256, the modulus of the EVM word ring.
+var two256 = new(big.Int).Lsh(big.NewInt(1), 256)
+
+// ToBig returns x as a math/big integer.
+func (x Int) ToBig() *big.Int {
+	return new(big.Int).SetBytes(x.Bytes())
+}
+
+// FromBig converts a non-negative big integer, truncating to 256 bits.
+func FromBig(v *big.Int) Int {
+	if v.Sign() < 0 {
+		m := new(big.Int).Mod(v, two256)
+		return FromBytes(m.Bytes())
+	}
+	return FromBytes(v.Bytes())
+}
+
+// toSignedBig interprets x as a two's-complement signed 256-bit value.
+func (x Int) toSignedBig() *big.Int {
+	v := x.ToBig()
+	if x.limbs[3]>>63 == 1 {
+		v.Sub(v, two256)
+	}
+	return v
+}
+
+// Div returns x / y (unsigned); division by zero yields zero, per EVM DIV.
+func (x Int) Div(y Int) Int {
+	q, _ := x.DivMod(y)
+	return q
+}
+
+// Mod returns x % y (unsigned); modulo by zero yields zero, per EVM MOD.
+func (x Int) Mod(y Int) Int {
+	_, r := x.DivMod(y)
+	return r
+}
+
+// DivMod returns the quotient and remainder of x / y. Division by zero
+// yields (0, 0), matching EVM semantics. The implementation is native:
+// single-limb divisors use limb-wise long division on bits.Div64; wide
+// divisors use restoring shift-subtract division over the bit-length gap.
+func (x Int) DivMod(y Int) (q, r Int) {
+	if y.IsZero() {
+		return Int{}, Int{}
+	}
+	switch x.Cmp(y) {
+	case -1:
+		return Int{}, x
+	case 0:
+		return One(), Int{}
+	}
+	// Single-limb divisor: classic schoolbook long division, most
+	// significant limb first, chaining remainders through bits.Div64.
+	if y.IsUint64() {
+		d := y.Uint64()
+		var rem uint64
+		for i := 3; i >= 0; i-- {
+			q.limbs[i], rem = bits.Div64(rem, x.limbs[i], d)
+		}
+		return q, FromUint64(rem)
+	}
+	// Wide divisor: restoring division. Align y's highest bit with x's,
+	// then walk down subtracting where it fits. The loop runs at most
+	// 192 iterations (both operands have their top bit within 256, and a
+	// wide divisor has BitLen > 64).
+	shift := uint(x.BitLen() - y.BitLen())
+	d := y.Shl(shift)
+	r = x
+	for {
+		if d.Cmp(r) <= 0 {
+			r = r.Sub(d)
+			q = q.Or(One().Shl(shift))
+		}
+		if shift == 0 {
+			break
+		}
+		shift--
+		d = d.Shr(1)
+	}
+	return q, r
+}
+
+// SDiv returns x / y under signed interpretation with truncation toward
+// zero; division by zero yields zero, per EVM SDIV. Implemented by sign
+// adjustment around the unsigned division; the MIN_INT256 / -1 overflow
+// falls out naturally from two's-complement negation (MIN negates to MIN).
+func (x Int) SDiv(y Int) Int {
+	if y.IsZero() {
+		return Int{}
+	}
+	xneg, yneg := x.Sign() < 0, y.Sign() < 0
+	ax, ay := x, y
+	if xneg {
+		ax = x.Neg()
+	}
+	if yneg {
+		ay = y.Neg()
+	}
+	q, _ := ax.DivMod(ay)
+	if xneg != yneg {
+		q = q.Neg()
+	}
+	return q
+}
+
+// SMod returns x % y under signed interpretation where the result takes the
+// sign of the dividend; modulo by zero yields zero, per EVM SMOD.
+func (x Int) SMod(y Int) Int {
+	if y.IsZero() {
+		return Int{}
+	}
+	xneg := x.Sign() < 0
+	ax, ay := x, y
+	if xneg {
+		ax = x.Neg()
+	}
+	if y.Sign() < 0 {
+		ay = y.Neg()
+	}
+	_, r := ax.DivMod(ay)
+	if xneg {
+		r = r.Neg()
+	}
+	return r
+}
+
+// AddMod returns (x + y) % m computed without intermediate overflow; m == 0
+// yields zero, per EVM ADDMOD. Since both reduced operands are below m, a
+// single conditional subtraction corrects both the >= m case and the
+// mod-2^256 wraparound.
+func (x Int) AddMod(y, m Int) Int {
+	if m.IsZero() {
+		return Int{}
+	}
+	xm := x.Mod(m)
+	ym := y.Mod(m)
+	sum := xm.Add(ym)
+	if sum.Lt(xm) || !sum.Lt(m) { // wrapped past 2^256, or simply >= m
+		sum = sum.Sub(m)
+	}
+	return sum
+}
+
+// MulMod returns (x * y) % m computed without intermediate overflow; m == 0
+// yields zero, per EVM MULMOD.
+func (x Int) MulMod(y, m Int) Int {
+	if m.IsZero() {
+		return Int{}
+	}
+	p := new(big.Int).Mul(x.ToBig(), y.ToBig())
+	return FromBig(p.Mod(p, m.ToBig()))
+}
+
+// Exp returns x ** y mod 2^256 by square-and-multiply, per EVM EXP.
+func (x Int) Exp(y Int) Int {
+	result := One()
+	base := x
+	for i := 0; i < y.BitLen(); i++ {
+		if y.Bit(uint(i)) == 1 {
+			result = result.Mul(base)
+		}
+		base = base.Mul(base)
+	}
+	return result
+}

@@ -1,0 +1,409 @@
+package u256
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randInt produces a quick-checkable random word biased toward interesting
+// boundary shapes (small values, all-ones limbs, high-bit-set).
+func randInt(r *rand.Rand) Int {
+	var x Int
+	switch r.Intn(5) {
+	case 0:
+		x.limbs[0] = r.Uint64() % 1024
+	case 1:
+		x = Max()
+		x.limbs[r.Intn(4)] = r.Uint64()
+	case 2:
+		x.limbs[3] = 1 << 63
+		x.limbs[0] = r.Uint64()
+	default:
+		for i := range x.limbs {
+			x.limbs[i] = r.Uint64()
+		}
+	}
+	return x
+}
+
+var quickCfg = &quick.Config{
+	MaxCount: 2000,
+	Values: func(args []reflect.Value, r *rand.Rand) {
+		for i := range args {
+			args[i] = reflect.ValueOf(pair{randInt(r), randInt(r)})
+		}
+	},
+}
+
+type pair struct{ a, b Int }
+
+func mod256(v *big.Int) *big.Int { return new(big.Int).Mod(v, two256) }
+
+func TestRoundTripBytes(t *testing.T) {
+	f := func(p pair) bool {
+		return FromBytes32(p.a.Bytes32()).Eq(p.a) && FromBytes(p.a.Bytes()).Eq(p.a)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddMatchesBig(t *testing.T) {
+	f := func(p pair) bool {
+		want := mod256(new(big.Int).Add(p.a.ToBig(), p.b.ToBig()))
+		return p.a.Add(p.b).ToBig().Cmp(want) == 0
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubMatchesBig(t *testing.T) {
+	f := func(p pair) bool {
+		want := mod256(new(big.Int).Sub(p.a.ToBig(), p.b.ToBig()))
+		return p.a.Sub(p.b).ToBig().Cmp(want) == 0
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulMatchesBig(t *testing.T) {
+	f := func(p pair) bool {
+		want := mod256(new(big.Int).Mul(p.a.ToBig(), p.b.ToBig()))
+		return p.a.Mul(p.b).ToBig().Cmp(want) == 0
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivModMatchBig(t *testing.T) {
+	f := func(p pair) bool {
+		if p.b.IsZero() {
+			return p.a.Div(p.b).IsZero() && p.a.Mod(p.b).IsZero()
+		}
+		wantQ := new(big.Int).Div(p.a.ToBig(), p.b.ToBig())
+		wantR := new(big.Int).Mod(p.a.ToBig(), p.b.ToBig())
+		return p.a.Div(p.b).ToBig().Cmp(wantQ) == 0 && p.a.Mod(p.b).ToBig().Cmp(wantR) == 0
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftsMatchBig(t *testing.T) {
+	f := func(p pair) bool {
+		n := uint(p.b.Uint64() % 300)
+		wantL := mod256(new(big.Int).Lsh(p.a.ToBig(), n))
+		wantR := new(big.Int).Rsh(p.a.ToBig(), n)
+		return p.a.Shl(n).ToBig().Cmp(wantL) == 0 && p.a.Shr(n).ToBig().Cmp(wantR) == 0
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSarSignFill(t *testing.T) {
+	neg := MustHex("0x8000000000000000000000000000000000000000000000000000000000000000")
+	if got := neg.Sar(255); !got.Eq(Max()) {
+		t.Errorf("Sar(255) of min-negative = %s, want all-ones", got)
+	}
+	if got := neg.Sar(256); !got.Eq(Max()) {
+		t.Errorf("Sar(256) of negative = %s, want all-ones", got)
+	}
+	pos := FromUint64(0x80)
+	if got := pos.Sar(4); got.Uint64() != 8 {
+		t.Errorf("Sar(4) of 0x80 = %s, want 8", got)
+	}
+	if got := pos.Sar(300); !got.IsZero() {
+		t.Errorf("Sar(300) of positive = %s, want 0", got)
+	}
+}
+
+func TestSignedComparisons(t *testing.T) {
+	minusOne := Max()
+	one := One()
+	if !minusOne.Slt(one) {
+		t.Error("-1 should be Slt 1")
+	}
+	if !one.Sgt(minusOne) {
+		t.Error("1 should be Sgt -1")
+	}
+	if minusOne.Slt(minusOne) {
+		t.Error("x Slt x must be false")
+	}
+	if !FromUint64(2).Lt(FromUint64(3)) || FromUint64(3).Lt(FromUint64(2)) {
+		t.Error("unsigned Lt broken on small values")
+	}
+}
+
+func TestSDivSModTruncateTowardZero(t *testing.T) {
+	// -7 / 2 == -3 (truncation), -7 % 2 == -1 (sign of dividend).
+	minus7 := FromUint64(7).Neg()
+	two := FromUint64(2)
+	if got, want := minus7.SDiv(two), FromUint64(3).Neg(); !got.Eq(want) {
+		t.Errorf("-7 SDIV 2 = %s, want %s", got, want)
+	}
+	if got, want := minus7.SMod(two), One().Neg(); !got.Eq(want) {
+		t.Errorf("-7 SMOD 2 = %s, want %s", got, want)
+	}
+	// EVM edge case: MIN_INT256 / -1 overflows back to MIN_INT256.
+	minInt := MustHex("0x8000000000000000000000000000000000000000000000000000000000000000")
+	if got := minInt.SDiv(Max()); !got.Eq(minInt) {
+		t.Errorf("MIN SDIV -1 = %s, want MIN", got)
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	// Extending byte 0 of 0xFF yields -1.
+	if got := FromUint64(0xFF).SignExtend(Zero()); !got.Eq(Max()) {
+		t.Errorf("signextend(0, 0xFF) = %s, want all-ones", got)
+	}
+	// 0x7F stays positive.
+	if got := FromUint64(0x7F).SignExtend(Zero()); got.Uint64() != 0x7F {
+		t.Errorf("signextend(0, 0x7F) = %s, want 0x7f", got)
+	}
+	// Index >= 31 is identity.
+	x := MustHex("0xdeadbeef")
+	if got := x.SignExtend(FromUint64(31)); !got.Eq(x) {
+		t.Errorf("signextend(31, x) must be identity, got %s", got)
+	}
+}
+
+func TestByte(t *testing.T) {
+	x := MustHex("0x0102030405060708091011121314151617181920212223242526272829303132")
+	if got := x.Byte(0); got.Uint64() != 0x01 {
+		t.Errorf("byte 0 = %s", got)
+	}
+	if got := x.Byte(31); got.Uint64() != 0x32 {
+		t.Errorf("byte 31 = %s", got)
+	}
+	if got := x.Byte(32); !got.IsZero() {
+		t.Errorf("byte 32 = %s, want 0", got)
+	}
+}
+
+func TestAddModMulModExp(t *testing.T) {
+	a, b, m := FromUint64(10), Max(), FromUint64(7)
+	wantAdd := new(big.Int).Add(a.ToBig(), b.ToBig())
+	wantAdd.Mod(wantAdd, m.ToBig())
+	if got := a.AddMod(b, m); got.ToBig().Cmp(wantAdd) != 0 {
+		t.Errorf("AddMod = %s, want %s", got, wantAdd)
+	}
+	wantMul := new(big.Int).Mul(a.ToBig(), b.ToBig())
+	wantMul.Mod(wantMul, m.ToBig())
+	if got := a.MulMod(b, m); got.ToBig().Cmp(wantMul) != 0 {
+		t.Errorf("MulMod = %s, want %s", got, wantMul)
+	}
+	if got := a.AddMod(b, Zero()); !got.IsZero() {
+		t.Errorf("AddMod by zero = %s, want 0", got)
+	}
+	if got := FromUint64(2).Exp(FromUint64(10)); got.Uint64() != 1024 {
+		t.Errorf("2**10 = %s", got)
+	}
+	if got := FromUint64(3).Exp(Zero()); got.Uint64() != 1 {
+		t.Errorf("3**0 = %s", got)
+	}
+	// 2**256 wraps to zero.
+	if got := FromUint64(2).Exp(FromUint64(256)); !got.IsZero() {
+		t.Errorf("2**256 = %s, want 0", got)
+	}
+}
+
+func TestExpMatchesBig(t *testing.T) {
+	f := func(p pair) bool {
+		e := FromUint64(p.b.Uint64() % 40)
+		want := new(big.Int).Exp(p.a.ToBig(), e.ToBig(), two256)
+		return p.a.Exp(e).ToBig().Cmp(want) == 0
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHexParsing(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"0x0", 0},
+		{"0xff", 255},
+		{"FF", 255},
+		{"0xDeadBeef", 0xdeadbeef},
+	}
+	for _, c := range cases {
+		got, err := FromHex(c.in)
+		if err != nil {
+			t.Fatalf("FromHex(%q): %v", c.in, err)
+		}
+		if got.Uint64() != c.want {
+			t.Errorf("FromHex(%q) = %s, want %d", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "0x", "0xg1", "0x" + string(make([]byte, 65))} {
+		if _, err := FromHex(bad); err == nil {
+			t.Errorf("FromHex(%q) should fail", bad)
+		}
+	}
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	f := func(p pair) bool {
+		back, err := FromHex(p.a.Hex())
+		return err == nil && back.Eq(p.a)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitAndBitLen(t *testing.T) {
+	if Zero().BitLen() != 0 {
+		t.Error("BitLen(0) != 0")
+	}
+	if One().BitLen() != 1 {
+		t.Error("BitLen(1) != 1")
+	}
+	if Max().BitLen() != 256 {
+		t.Error("BitLen(max) != 256")
+	}
+	x := One().Shl(200)
+	if x.Bit(200) != 1 || x.Bit(199) != 0 || x.BitLen() != 201 {
+		t.Errorf("Shl(200) bit bookkeeping wrong: %s", x)
+	}
+}
+
+func TestFromBigNegative(t *testing.T) {
+	// FromBig of -1 must produce all-ones (two's complement mod 2^256).
+	if got := FromBig(big.NewInt(-1)); !got.Eq(Max()) {
+		t.Errorf("FromBig(-1) = %s, want all-ones", got)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x, y := Max(), FromUint64(12345)
+	for i := 0; i < b.N; i++ {
+		x = x.Add(y)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := MustHex("0xfedcba9876543210fedcba9876543210"), FromUint64(99991)
+	for i := 0; i < b.N; i++ {
+		x = x.Mul(y)
+	}
+}
+
+func TestSignExtendMatchesBig(t *testing.T) {
+	f := func(p pair) bool {
+		b := p.b.Uint64() % 33 // 0..32, includes the identity range >= 31
+		got := p.a.SignExtend(FromUint64(b))
+		// Reference: interpret the low (b+1)*8 bits as signed, mod 2^256.
+		if b >= 31 {
+			return got.Eq(p.a)
+		}
+		bits := uint((b + 1) * 8)
+		low := new(big.Int).Mod(p.a.ToBig(), new(big.Int).Lsh(big.NewInt(1), bits))
+		half := new(big.Int).Lsh(big.NewInt(1), bits-1)
+		if low.Cmp(half) >= 0 {
+			low.Sub(low, new(big.Int).Lsh(big.NewInt(1), bits))
+		}
+		want := mod256(low)
+		return got.ToBig().Cmp(want) == 0
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSarMatchesBig(t *testing.T) {
+	f := func(p pair) bool {
+		n := uint(p.b.Uint64() % 300)
+		got := p.a.Sar(n)
+		// Reference: arithmetic shift of the signed interpretation.
+		signed := p.a.ToBig()
+		if p.a.Bit(255) == 1 {
+			signed.Sub(signed, two256)
+		}
+		want := mod256(new(big.Int).Rsh(signed, n))
+		return got.ToBig().Cmp(want) == 0
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByteMatchesBig(t *testing.T) {
+	f := func(p pair) bool {
+		i := p.b.Uint64() % 40
+		got := p.a.Byte(i)
+		if i >= 32 {
+			return got.IsZero()
+		}
+		buf := p.a.Bytes32()
+		return got.Uint64() == uint64(buf[i])
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivModConsistency(t *testing.T) {
+	// q*y + r == x and r < y, for all non-zero divisors.
+	f := func(p pair) bool {
+		if p.b.IsZero() {
+			q, r := p.a.DivMod(p.b)
+			return q.IsZero() && r.IsZero()
+		}
+		q, r := p.a.DivMod(p.b)
+		if !r.Lt(p.b) {
+			return false
+		}
+		return q.Mul(p.b).Add(r).Eq(p.a)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSDivSModMatchBig(t *testing.T) {
+	f := func(p pair) bool {
+		if p.b.IsZero() {
+			return p.a.SDiv(p.b).IsZero() && p.a.SMod(p.b).IsZero()
+		}
+		wantQ := mod256(new(big.Int).Quo(p.a.toSignedBig(), p.b.toSignedBig()))
+		wantR := mod256(new(big.Int).Rem(p.a.toSignedBig(), p.b.toSignedBig()))
+		return p.a.SDiv(p.b).ToBig().Cmp(wantQ) == 0 &&
+			p.a.SMod(p.b).ToBig().Cmp(wantR) == 0
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddModMatchesBig(t *testing.T) {
+	f := func(p pair) bool {
+		for _, m := range []Int{p.b, FromUint64(7), Max(), Zero()} {
+			got := p.a.AddMod(p.b, m)
+			if m.IsZero() {
+				if !got.IsZero() {
+					return false
+				}
+				continue
+			}
+			s := new(big.Int).Add(p.a.ToBig(), p.b.ToBig())
+			want := s.Mod(s, m.ToBig())
+			if got.ToBig().Cmp(want) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}

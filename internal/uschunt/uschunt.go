@@ -1,0 +1,159 @@
+// Package uschunt reimplements the USCHunt baseline (Bodell et al., USENIX
+// Security 2023) at the fidelity the paper's comparison needs: a purely
+// source-level, Slither-based analyzer. Its characteristic blind spots are
+// modeled from the paper's evaluation: it can only examine contracts with
+// published source (Section 3.1), it halts on ~30% of contracts whose
+// compiler version is unknown (Section 6.2), and its storage-collision
+// check compares variable names and declaration order, flagging harmless
+// padding mismatches as collisions (Section 6.3).
+package uschunt
+
+import (
+	"repro/internal/etherscan"
+	"repro/internal/etypes"
+	"repro/internal/solc"
+)
+
+// Tool is a USCHunt instance bound to a source registry.
+type Tool struct {
+	reg *etherscan.Registry
+}
+
+// New returns a USCHunt baseline over the registry.
+func New(reg *etherscan.Registry) *Tool { return &Tool{reg: reg} }
+
+// ProxyVerdict is the outcome of USCHunt's proxy detection for one address.
+type ProxyVerdict struct {
+	// Detected is true when USCHunt classifies the contract as a proxy.
+	Detected bool
+	// Halted is true when analysis aborted (no source, or compilation
+	// failed on an unknown compiler version).
+	Halted bool
+}
+
+// DetectProxy classifies one contract. USCHunt needs source and a known
+// compiler; given both, it recognizes the delegating-fallback patterns that
+// Slither's static analysis finds in source.
+func (t *Tool) DetectProxy(addr etypes.Address) ProxyVerdict {
+	entry, ok := t.reg.Entry(addr)
+	if !ok {
+		return ProxyVerdict{Halted: true}
+	}
+	if !entry.CompilerKnown {
+		// Compilation halt: the ~30% failure mode the paper measures.
+		return ProxyVerdict{Halted: true}
+	}
+	return ProxyVerdict{Detected: isDelegatingFallback(entry.Source)}
+}
+
+// isDelegatingFallback is the source-level proxy test: the fallback
+// function forwards via delegatecall.
+func isDelegatingFallback(src *solc.Contract) bool {
+	switch src.Fallback.Kind {
+	case solc.FallbackDelegateStorage, solc.FallbackDelegateHardcoded,
+		solc.FallbackDelegateDiamond:
+		return true
+	default:
+		return false
+	}
+}
+
+// FunctionCollision is USCHunt's source-level function finding.
+type FunctionCollision struct {
+	ProxyProto string
+	LogicProto string
+}
+
+// FunctionCollisions runs USCHunt's source-level function comparison. It
+// reports nothing unless both sources are available, both compile, and the
+// proxy was detected as such — the chain of preconditions behind its high
+// false-negative rate in Table 2. The comparison matches function *names*
+// rather than full 4-byte selectors, which is where its occasional false
+// positive comes from: same-named functions with different parameter lists
+// do not actually collide.
+func (t *Tool) FunctionCollisions(proxy, logic etypes.Address) []FunctionCollision {
+	pv := t.DetectProxy(proxy)
+	if !pv.Detected {
+		return nil
+	}
+	pe, okP := t.reg.Entry(proxy)
+	le, okL := t.reg.Entry(logic)
+	if !okP || !okL || !pe.CompilerKnown || !le.CompilerKnown {
+		return nil
+	}
+	logicByName := make(map[string]string)
+	for _, f := range le.Source.Funcs {
+		logicByName[f.ABI.Name] = f.ABI.Prototype()
+	}
+	var out []FunctionCollision
+	for _, f := range pe.Source.Funcs {
+		if lp, ok := logicByName[f.ABI.Name]; ok {
+			out = append(out, FunctionCollision{ProxyProto: f.ABI.Prototype(), LogicProto: lp})
+		}
+	}
+	return out
+}
+
+// NameCollision is USCHunt's storage finding: a slot where the proxy and
+// logic declare differently named variables.
+type NameCollision struct {
+	Slot      uint64
+	ProxyVars []string
+	LogicVars []string
+}
+
+// StorageCollisions compares declared storage layouts by slot, flagging any
+// slot whose variable names differ between the two sources. This is the
+// name-and-order comparison that yields false positives on padding
+// variables: a slot holding `__gap` on one side and `value` on the other is
+// flagged even though both are full-width words with identical boundaries.
+func (t *Tool) StorageCollisions(proxy, logic etypes.Address) []NameCollision {
+	pe, okP := t.reg.Entry(proxy)
+	le, okL := t.reg.Entry(logic)
+	if !okP || !okL || !pe.CompilerKnown || !le.CompilerKnown {
+		return nil
+	}
+	proxySlots := namesBySlot(pe.Source)
+	logicSlots := namesBySlot(le.Source)
+
+	var out []NameCollision
+	for slot, pNames := range proxySlots {
+		lNames, shared := logicSlots[slot]
+		if !shared {
+			continue
+		}
+		if !sameNames(pNames, lNames) {
+			out = append(out, NameCollision{Slot: slot, ProxyVars: pNames, LogicVars: lNames})
+		}
+	}
+	sortBySlot(out)
+	return out
+}
+
+func namesBySlot(src *solc.Contract) map[uint64][]string {
+	out := make(map[uint64][]string)
+	for _, sv := range src.Layout() {
+		out[sv.Slot] = append(out[sv.Slot], sv.Var.Name)
+	}
+	return out
+}
+
+func sameNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortBySlot(cs []NameCollision) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].Slot < cs[j-1].Slot; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

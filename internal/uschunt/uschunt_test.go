@@ -1,0 +1,137 @@
+package uschunt_test
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/etherscan"
+	"repro/internal/etypes"
+	"repro/internal/solc"
+	"repro/internal/uschunt"
+)
+
+var (
+	pAddr = etypes.MustAddress("0x0000000000000000000000000000000000008801")
+	lAddr = etypes.MustAddress("0x0000000000000000000000000000000000008802")
+)
+
+func delegatingProxySrc() *solc.Contract {
+	return &solc.Contract{
+		Name: "P",
+		Vars: []solc.Var{
+			{Name: "owner", Type: solc.TypeAddress},
+			{Name: "logic", Type: solc.TypeAddress},
+		},
+		Funcs: []solc.Func{{
+			ABI: abi.Function{Name: "upgradeTo", Params: []string{"address"}},
+			Body: []solc.Stmt{
+				solc.RequireCallerIs{Var: "owner"},
+				solc.AssignArg{Var: "logic", Arg: 0},
+			},
+		}},
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateStorage},
+	}
+}
+
+func TestDetectProxyGates(t *testing.T) {
+	reg := etherscan.NewRegistry()
+	tool := uschunt.New(reg)
+
+	// No source at all: halted.
+	if v := tool.DetectProxy(pAddr); !v.Halted || v.Detected {
+		t.Errorf("no-source verdict = %+v", v)
+	}
+	// Source but unknown compiler: halted (the ~30% failure mode).
+	reg.Publish(pAddr, delegatingProxySrc(), false)
+	if v := tool.DetectProxy(pAddr); !v.Halted || v.Detected {
+		t.Errorf("unknown-compiler verdict = %+v", v)
+	}
+	// Compiled, delegating fallback: detected.
+	reg.Publish(pAddr, delegatingProxySrc(), true)
+	if v := tool.DetectProxy(pAddr); v.Halted || !v.Detected {
+		t.Errorf("good-source verdict = %+v", v)
+	}
+	// A library caller is not a proxy even from source.
+	lib := &solc.Contract{Name: "L", Fallback: solc.Fallback{Kind: solc.FallbackLibraryCall, Proto: "f()"}}
+	reg.Publish(lAddr, lib, true)
+	if v := tool.DetectProxy(lAddr); v.Detected {
+		t.Error("library caller detected as proxy")
+	}
+}
+
+func TestFunctionCollisionsNameBased(t *testing.T) {
+	reg := etherscan.NewRegistry()
+	tool := uschunt.New(reg)
+	proxy := delegatingProxySrc()
+	logic := &solc.Contract{
+		Name: "L",
+		Funcs: []solc.Func{
+			// Same name, different params: NOT a selector collision, but
+			// USCHunt's name comparison flags it — its Table 2 FP.
+			{ABI: abi.Function{Name: "upgradeTo", Params: []string{"address", "uint256"}},
+				Body: []solc.Stmt{solc.Stop{}}},
+		},
+	}
+	reg.Publish(pAddr, proxy, true)
+	reg.Publish(lAddr, logic, true)
+
+	cols := tool.FunctionCollisions(pAddr, lAddr)
+	if len(cols) != 1 {
+		t.Fatalf("collisions = %d, want 1 (name match)", len(cols))
+	}
+	if cols[0].ProxyProto == cols[0].LogicProto {
+		t.Error("prototypes should differ (that is why it is a false positive)")
+	}
+
+	// The honeypot shape — different names, same selector — is invisible
+	// to the name comparison.
+	honeyProxy := &solc.Contract{
+		Name: "HP",
+		Funcs: []solc.Func{{ABI: abi.Function{Name: "impl_LUsXCWD2AKCc"},
+			Body: []solc.Stmt{solc.Stop{}}}},
+		Fallback: solc.Fallback{Kind: solc.FallbackDelegateStorage},
+	}
+	honeyLogic := &solc.Contract{
+		Name: "HL",
+		Funcs: []solc.Func{{ABI: abi.Function{Name: "free_ether_withdrawal"},
+			Body: []solc.Stmt{solc.Stop{}}}},
+	}
+	reg.Publish(pAddr, honeyProxy, true)
+	reg.Publish(lAddr, honeyLogic, true)
+	if cols := tool.FunctionCollisions(pAddr, lAddr); len(cols) != 0 {
+		t.Errorf("honeypot collision visible to name comparison: %+v", cols)
+	}
+}
+
+func TestStorageCollisionsNameMismatch(t *testing.T) {
+	reg := etherscan.NewRegistry()
+	tool := uschunt.New(reg)
+	proxy := delegatingProxySrc() // slot 0: owner+logic (wait: both addresses -> slot0 owner, slot1 logic)
+	logic := &solc.Contract{
+		Name: "L",
+		Vars: []solc.Var{
+			{Name: "counter", Type: solc.TypeAddress}, // slot 0, different name
+			{Name: "logic", Type: solc.TypeAddress},   // slot 1, same name
+		},
+	}
+	reg.Publish(pAddr, proxy, true)
+	reg.Publish(lAddr, logic, true)
+
+	cols := tool.StorageCollisions(pAddr, lAddr)
+	if len(cols) != 1 {
+		t.Fatalf("collisions = %d, want 1 (slot 0 name mismatch)", len(cols))
+	}
+	if cols[0].Slot != 0 {
+		t.Errorf("collision slot = %d", cols[0].Slot)
+	}
+	// Identical names: clean.
+	reg.Publish(lAddr, delegatingProxySrc(), true)
+	if cols := tool.StorageCollisions(pAddr, lAddr); len(cols) != 0 {
+		t.Errorf("identical layouts flagged: %+v", cols)
+	}
+	// Unknown compiler on either side: nothing reported.
+	reg.Publish(lAddr, logic, false)
+	if cols := tool.StorageCollisions(pAddr, lAddr); cols != nil {
+		t.Errorf("halted analysis still reported: %+v", cols)
+	}
+}
