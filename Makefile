@@ -1,0 +1,20 @@
+# Standard entry points; `make ci` is what the workflow runs.
+
+.PHONY: build vet test race bench ci
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -run '^$$' -bench . -benchmem .
+
+ci: build vet race

@@ -9,6 +9,7 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -380,6 +381,87 @@ func BenchmarkAnalyzeAll(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(len(pop.Chain.Contracts())), "contracts/op")
+}
+
+// BenchmarkPipelineAnalyzeAll measures the streaming engine end to end —
+// staged concurrency plus bytecode-dedup memoization — with a fresh
+// detector (cold cache) per iteration, reporting throughput and the
+// within-run cache hit rate.
+func BenchmarkPipelineAnalyzeAll(b *testing.B) {
+	pop, _, _ := population(b)
+	var hitRate float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det := proxion.NewDetector(pop.Chain)
+		res := det.AnalyzeAll(pop.Registry)
+		if len(res.Proxies()) == 0 {
+			b.Fatal("no proxies found")
+		}
+		hitRate = res.Stats.CacheHitRate
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(pop.Chain.Contracts()))*float64(b.N)/b.Elapsed().Seconds(), "contracts/s")
+	b.ReportMetric(100*hitRate, "%hit")
+}
+
+// BenchmarkAblationNoDedupCache is the same engine with the dedup cache
+// disabled: every duplicate pays a full emulation. The gap to
+// BenchmarkPipelineAnalyzeAll is the throughput the cache buys on a
+// duplicate-dominated landscape (Figure 5's 98.7% skew, scaled).
+func BenchmarkAblationNoDedupCache(b *testing.B) {
+	pop, _, _ := population(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det := proxion.NewDetector(pop.Chain)
+		res := det.AnalyzeAllWithOptions(pop.Registry, proxion.AnalyzeOptions{DisableDedup: true})
+		if len(res.Proxies()) == 0 {
+			b.Fatal("no proxies found")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(pop.Chain.Contracts()))*float64(b.N)/b.Elapsed().Seconds(), "contracts/s")
+}
+
+// BenchmarkAnalyzeAllBarrier reproduces the pre-pipeline shape — a
+// detection worker pool, a full barrier, then a sequential pair loop — as
+// the baseline the streaming engine is measured against.
+func BenchmarkAnalyzeAllBarrier(b *testing.B) {
+	pop, _, _ := population(b)
+	addrs := pop.Chain.Contracts()
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det := proxion.NewDetector(pop.Chain)
+		reports := make([]proxion.Report, len(addrs))
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range next {
+					reports[j] = det.Check(addrs[j])
+				}
+			}()
+		}
+		for j := range addrs {
+			next <- j
+		}
+		close(next)
+		wg.Wait()
+		proxies := 0
+		for _, rep := range reports {
+			if rep.IsProxy && !rep.Logic.IsZero() {
+				det.AnalyzePair(rep.Address, rep.Logic, pop.Registry)
+				proxies++
+			}
+		}
+		if proxies == 0 {
+			b.Fatal("no proxies found")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(addrs))*float64(b.N)/b.Elapsed().Seconds(), "contracts/s")
 }
 
 // audiusFixture rebuilds the Listing 2 pair for microbenchmarks.

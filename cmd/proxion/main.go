@@ -33,14 +33,13 @@ func run() error {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable summary instead of text")
 	flag.Parse()
 
-	fmt.Printf("generating %d-contract chain snapshot (seed %d)...\n", *contracts, *seed)
+	// Progress goes to stderr so -json output stays machine-consumable.
+	fmt.Fprintf(os.Stderr, "generating %d-contract chain snapshot (seed %d)...\n", *contracts, *seed)
 	pop := dataset.Generate(dataset.Config{Seed: *seed, Contracts: *contracts})
-	fmt.Printf("chain height %d, %d contracts alive\n", pop.Chain.CurrentBlock(), len(pop.Chain.Contracts()))
+	fmt.Fprintf(os.Stderr, "chain height %d, %d contracts alive\n", pop.Chain.CurrentBlock(), len(pop.Chain.Contracts()))
 
 	det := proxion.NewDetector(pop.Chain)
-	start := time.Now()
 	res := det.AnalyzeAll(pop.Registry)
-	elapsed := time.Since(start)
 
 	if *jsonOut {
 		out, err := proxion.Summarize(res).MarshalIndentJSON()
@@ -52,9 +51,18 @@ func run() error {
 	}
 
 	proxies := res.Proxies()
-	perSec := float64(len(res.Reports)) / elapsed.Seconds()
-	fmt.Printf("\nanalyzed %d contracts in %s (%.0f contracts/s)\n",
-		len(res.Reports), elapsed.Round(time.Millisecond), perSec)
+	if st := res.Stats; st != nil {
+		fmt.Printf("\nanalyzed %d contracts in %s (%.0f contracts/s)\n",
+			st.Contracts, (time.Duration(st.WallMS*float64(time.Millisecond))).Round(time.Millisecond),
+			st.ContractsPerSec)
+		fmt.Printf("pipeline: %d emulations, %d cache hits (%.1f%% hit rate), %d aborts, %d getStorageAt calls\n",
+			st.Emulations, st.CacheHits, 100*st.CacheHitRate, st.EmulationAborts, st.StorageAPICalls)
+		for _, stage := range st.Stages {
+			fmt.Printf("  stage %-16s workers=%-3d processed=%-6d busy=%s\n",
+				stage.Name, stage.Workers, stage.Processed,
+				(time.Duration(stage.BusyMS * float64(time.Millisecond))).Round(time.Millisecond))
+		}
+	}
 	fmt.Printf("proxies: %d (%.1f%%)\n", len(proxies),
 		100*float64(len(proxies))/float64(len(res.Reports)))
 

@@ -9,6 +9,7 @@ package chain
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/etypes"
@@ -30,10 +31,14 @@ type storageVersion struct {
 
 // account is the full record for one address.
 type account struct {
-	code    []byte
-	balance u256.Int
-	nonce   uint64
-	storage map[etypes.Hash]etypes.Hash
+	code []byte
+	// codeHash caches Keccak(code); code changes only through
+	// InstallContract/SetCode, which keep it in sync, so the analysis hot
+	// path never re-hashes multi-KB bytecode.
+	codeHash etypes.Hash
+	balance  u256.Int
+	nonce    uint64
+	storage  map[etypes.Hash]etypes.Hash
 	// history holds every committed write per slot, in block order.
 	history map[etypes.Hash][]storageVersion
 	// createdAt is the block the account was deployed in.
@@ -79,11 +84,18 @@ func MainnetConfig() Config {
 	}
 }
 
-// Chain is the simulated node. Writes (deployments, transactions) are not
-// safe for concurrent use; once populated, read APIs may be used from
-// multiple goroutines, except that the getStorageAt call counter is the
-// only mutable read-side state and is atomic.
+// Chain is the simulated node. All public methods are safe for concurrent
+// use: reads (Code, GetState, GetStorageAt, …) take a shared lock, writes
+// (Execute, Deploy, InstallContract, …) take it exclusively, and the
+// getStorageAt call counter is atomic so counting reads stay contention-free
+// on the analysis hot path.
 type Chain struct {
+	// mu guards every field below except apiCalls. Transaction execution
+	// (Execute/Deploy/StaticCall) holds the write lock for the whole EVM run
+	// and hands the EVM an unlocked execState view to keep the lock
+	// non-reentrant code deadlock-free.
+	mu sync.RWMutex
+
 	cfg      Config
 	accounts map[etypes.Address]*account
 	blocks   []BlockHeader
@@ -147,22 +159,46 @@ func (c *Chain) makeHeader(number uint64) BlockHeader {
 }
 
 // CurrentBlock returns the height of the latest block.
-func (c *Chain) CurrentBlock() uint64 { return c.blocks[len(c.blocks)-1].Number }
+func (c *Chain) CurrentBlock() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.currentBlock()
+}
+
+func (c *Chain) currentBlock() uint64 { return c.blocks[len(c.blocks)-1].Number }
 
 // LatestHeader returns the latest block header.
-func (c *Chain) LatestHeader() BlockHeader { return c.blocks[len(c.blocks)-1] }
+func (c *Chain) LatestHeader() BlockHeader {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.latestHeader()
+}
+
+func (c *Chain) latestHeader() BlockHeader { return c.blocks[len(c.blocks)-1] }
 
 // HeaderByNumber returns the header at the given height.
 func (c *Chain) HeaderByNumber(n uint64) (BlockHeader, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.headerByNumber(n)
+}
+
+func (c *Chain) headerByNumber(n uint64) (BlockHeader, error) {
 	if n >= uint64(len(c.blocks)) {
-		return BlockHeader{}, fmt.Errorf("chain: no block %d (head %d)", n, c.CurrentBlock())
+		return BlockHeader{}, fmt.Errorf("chain: no block %d (head %d)", n, c.currentBlock())
 	}
 	return c.blocks[n], nil
 }
 
 // AdvanceBlocks appends n empty blocks.
 func (c *Chain) AdvanceBlocks(n uint64) {
-	next := c.CurrentBlock() + 1
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advanceBlocks(n)
+}
+
+func (c *Chain) advanceBlocks(n uint64) {
+	next := c.currentBlock() + 1
 	for i := uint64(0); i < n; i++ {
 		c.blocks = append(c.blocks, c.makeHeader(next+i))
 	}
@@ -170,18 +206,21 @@ func (c *Chain) AdvanceBlocks(n uint64) {
 
 // AdvanceTo fast-forwards the chain to the given height.
 func (c *Chain) AdvanceTo(height uint64) {
-	if height > c.CurrentBlock() {
-		c.AdvanceBlocks(height - c.CurrentBlock())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if height > c.currentBlock() {
+		c.advanceBlocks(height - c.currentBlock())
 	}
 }
 
+// getOrCreate must be called with the write lock held.
 func (c *Chain) getOrCreate(addr etypes.Address) *account {
 	acc, ok := c.accounts[addr]
 	if !ok {
 		acc = &account{
 			storage:   make(map[etypes.Hash]etypes.Hash),
 			history:   make(map[etypes.Hash][]storageVersion),
-			createdAt: c.CurrentBlock(),
+			createdAt: c.currentBlock(),
 		}
 		c.accounts[addr] = acc
 	}
@@ -192,23 +231,29 @@ func (c *Chain) getOrCreate(addr etypes.Address) *account {
 // EVM deployment path. The dataset generator uses this to populate large
 // contract populations cheaply; createdAt is the current block.
 func (c *Chain) InstallContract(addr etypes.Address, code []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	acc := c.getOrCreate(addr)
 	acc.code = code
-	acc.createdAt = c.CurrentBlock()
+	acc.codeHash = etypes.Keccak(code)
+	acc.createdAt = c.currentBlock()
 	acc.nonce = 1
 }
 
 // SetStorageDirect writes a slot as if by a committed transaction in the
 // current block, recording history.
 func (c *Chain) SetStorageDirect(addr etypes.Address, slot, value etypes.Hash) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	acc := c.getOrCreate(addr)
 	c.writeStorage(acc, slot, value, false)
 }
 
 // writeStorage updates current state and history; when journaled, the
-// change is registered for rollback.
+// change is registered for rollback. Must be called with the write lock
+// held.
 func (c *Chain) writeStorage(acc *account, slot, value etypes.Hash, journaled bool) {
-	block := c.CurrentBlock()
+	block := c.currentBlock()
 	prev := acc.storage[slot]
 	hist := acc.history[slot]
 	prevHistLen := len(hist)
@@ -237,20 +282,48 @@ func (c *Chain) writeStorage(acc *account, slot, value etypes.Hash, journaled bo
 
 // Fund credits addr with amount wei.
 func (c *Chain) Fund(addr etypes.Address, amount u256.Int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	acc := c.getOrCreate(addr)
 	acc.balance = acc.balance.Add(amount)
 }
 
 // Code returns the runtime bytecode at addr.
 func (c *Chain) Code(addr etypes.Address) []byte {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.code(addr)
+}
+
+func (c *Chain) code(addr etypes.Address) []byte {
 	if acc, ok := c.accounts[addr]; ok && !acc.destroyed {
 		return acc.code
 	}
 	return nil
 }
 
+// emptyCodeHash is Keccak of empty input — the hash of a codeless account.
+var emptyCodeHash = etypes.Keccak(nil)
+
+// CodeHash returns Keccak-256 of the runtime bytecode at addr, served from
+// the per-account cache instead of re-hashing.
+func (c *Chain) CodeHash(addr etypes.Address) etypes.Hash {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.getCodeHash(addr)
+}
+
+func (c *Chain) getCodeHash(addr etypes.Address) etypes.Hash {
+	if acc, ok := c.accounts[addr]; ok && !acc.destroyed && len(acc.code) > 0 {
+		return acc.codeHash
+	}
+	return emptyCodeHash
+}
+
 // CreatedAt returns the deployment block of addr.
 func (c *Chain) CreatedAt(addr etypes.Address) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if acc, ok := c.accounts[addr]; ok {
 		return acc.createdAt
 	}
@@ -259,6 +332,8 @@ func (c *Chain) CreatedAt(addr etypes.Address) uint64 {
 
 // IsDestroyed reports whether the contract self-destructed.
 func (c *Chain) IsDestroyed(addr etypes.Address) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	acc, ok := c.accounts[addr]
 	return ok && acc.destroyed
 }
@@ -266,6 +341,8 @@ func (c *Chain) IsDestroyed(addr etypes.Address) bool {
 // Contracts returns every address holding code (alive contracts), sorted
 // for determinism.
 func (c *Chain) Contracts() []etypes.Address {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var out []etypes.Address
 	for addr, acc := range c.accounts {
 		if len(acc.code) > 0 && !acc.destroyed {
@@ -288,6 +365,8 @@ func (c *Chain) Contracts() []etypes.Address {
 // Algorithm 1 efficiency experiment reports on.
 func (c *Chain) GetStorageAt(addr etypes.Address, slot etypes.Hash, block uint64) etypes.Hash {
 	c.apiCalls.Add(1)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	acc, ok := c.accounts[addr]
 	if !ok {
 		return etypes.Hash{}
@@ -309,11 +388,17 @@ func (c *Chain) ResetAPICalls() { c.apiCalls.Store(0) }
 
 // TxCount returns how many transactions (external or internal) have touched
 // addr — the "has past transactions" signal trace-based tools depend on.
-func (c *Chain) TxCount(addr etypes.Address) int { return c.txCount[addr] }
+func (c *Chain) TxCount(addr etypes.Address) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.txCount[addr]
+}
 
 // TxSelectors returns the distinct 4-byte selectors observed in external
 // transactions to addr, in deterministic order.
 func (c *Chain) TxSelectors(addr etypes.Address) [][4]byte {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	set := c.txSelectors[addr]
 	out := make([][4]byte, 0, len(set))
 	for sel := range set {
@@ -331,6 +416,7 @@ func (c *Chain) TxSelectors(addr etypes.Address) [][4]byte {
 }
 
 // recordTxSelector notes the selector of an external transaction's input.
+// Must be called with the write lock held.
 func (c *Chain) recordTxSelector(addr etypes.Address, input []byte) {
 	if len(input) < 4 {
 		return
@@ -345,16 +431,30 @@ func (c *Chain) recordTxSelector(addr etypes.Address, input []byte) {
 	set[sel] = struct{}{}
 }
 
-// DelegateEvents returns every DELEGATECALL observed in executed
+// DelegateEvents returns a copy of every DELEGATECALL observed in executed
 // transactions, in order.
-func (c *Chain) DelegateEvents() []DelegateEvent { return c.delegateEvents }
+func (c *Chain) DelegateEvents() []DelegateEvent {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]DelegateEvent, len(c.delegateEvents))
+	copy(out, c.delegateEvents)
+	return out
+}
 
-// Logs returns all emitted logs.
-func (c *Chain) Logs() []Log { return c.logs }
+// Logs returns a copy of all emitted logs.
+func (c *Chain) Logs() []Log {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Log, len(c.logs))
+	copy(out, c.logs)
+	return out
+}
 
 // LogsInRange returns logs emitted in blocks [from, to], optionally
 // filtered by emitting address (the eth_getLogs shape).
 func (c *Chain) LogsInRange(from, to uint64, addr *etypes.Address) []Log {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var out []Log
 	for _, l := range c.logs {
 		if l.Block < from || l.Block > to {

@@ -30,22 +30,26 @@ var _ evm.Tracer = (*txTracer)(nil)
 
 func (t *txTracer) CaptureStep(*evm.Frame, uint64, evm.Op) {}
 
+// CaptureEnter runs during Execute/Deploy, which hold the chain's write
+// lock, so it uses the unlocked internals.
 func (t *txTracer) CaptureEnter(kind evm.CallKind, from, to etypes.Address, input []byte, value u256.Int) {
 	t.touched[to] = struct{}{}
 	if kind == evm.CallKindDelegateCall {
 		t.chain.delegateEvents = append(t.chain.delegateEvents, DelegateEvent{
 			Proxy: from,
 			Logic: to,
-			Block: t.chain.CurrentBlock(),
+			Block: t.chain.currentBlock(),
 		})
 	}
 }
 
 func (t *txTracer) CaptureExit([]byte, error) {}
 
-// blockContext builds the EVM environment for the current block.
+// blockContext builds the EVM environment for the current block. It (and
+// the BlockHash closure it returns, invoked mid-execution) must be called
+// with the chain lock held.
 func (c *Chain) blockContext() evm.BlockContext {
-	head := c.LatestHeader()
+	head := c.latestHeader()
 	return evm.BlockContext{
 		Coinbase: etypes.MustAddress("0x95222290dd7278aa3ddd389cc1e1d165cc4bafe5"),
 		Number:   head.Number,
@@ -54,7 +58,7 @@ func (c *Chain) blockContext() evm.BlockContext {
 		ChainID:  u256.FromUint64(c.cfg.ChainID),
 		BaseFee:  u256.FromUint64(15_000_000_000),
 		BlockHash: func(n uint64) etypes.Hash {
-			h, err := c.HeaderByNumber(n)
+			h, err := c.headerByNumber(n)
 			if err != nil {
 				return etypes.Hash{}
 			}
@@ -70,10 +74,12 @@ func (c *Chain) Execute(from, to etypes.Address, input []byte, gas uint64, value
 	if gas == 0 {
 		gas = defaultTxGas
 	}
-	c.AdvanceBlocks(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advanceBlocks(1)
 	c.recordTxSelector(to, input)
 	tracer := &txTracer{chain: c, touched: map[etypes.Address]struct{}{to: {}}}
-	e := evm.New(c, evm.Config{
+	e := evm.New(execState{c}, evm.Config{
 		Block:   c.blockContext(),
 		Tx:      evm.TxContext{Origin: from, GasPrice: u256.FromUint64(20_000_000_000)},
 		Tracer:  tracer,
@@ -88,7 +94,7 @@ func (c *Chain) Execute(from, to etypes.Address, input []byte, gas uint64, value
 		Output:  res.Output,
 		GasUsed: gas - res.GasLeft,
 		Err:     res.Err,
-		Block:   c.CurrentBlock(),
+		Block:   c.currentBlock(),
 	}
 }
 
@@ -97,9 +103,11 @@ func (c *Chain) Deploy(from etypes.Address, initCode []byte, gas uint64, value u
 	if gas == 0 {
 		gas = defaultTxGas
 	}
-	c.AdvanceBlocks(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advanceBlocks(1)
 	tracer := &txTracer{chain: c, touched: map[etypes.Address]struct{}{}}
-	e := evm.New(c, evm.Config{
+	e := evm.New(execState{c}, evm.Config{
 		Block:   c.blockContext(),
 		Tx:      evm.TxContext{Origin: from, GasPrice: u256.FromUint64(20_000_000_000)},
 		Tracer:  tracer,
@@ -115,17 +123,21 @@ func (c *Chain) Deploy(from etypes.Address, initCode []byte, gas uint64, value u
 		GasUsed:         gas - res.GasLeft,
 		Err:             res.Err,
 		ContractAddress: res.Address,
-		Block:           c.CurrentBlock(),
+		Block:           c.currentBlock(),
 	}
 }
 
 // StaticCall executes a read-only call at the chain head without sealing a
-// block, recording a transaction, or mutating state.
+// block, recording a transaction, or mutating state. It still takes the
+// write lock: a lenient EVM may journal transient effects that are reverted
+// before the call returns.
 func (c *Chain) StaticCall(from, to etypes.Address, input []byte, gas uint64) Receipt {
 	if gas == 0 {
 		gas = defaultTxGas
 	}
-	e := evm.New(c, evm.Config{
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := evm.New(execState{c}, evm.Config{
 		Block:   c.blockContext(),
 		Tx:      evm.TxContext{Origin: from},
 		Lenient: true,
@@ -136,6 +148,6 @@ func (c *Chain) StaticCall(from, to etypes.Address, input []byte, gas uint64) Re
 		Output:  res.Output,
 		GasUsed: gas - res.GasLeft,
 		Err:     res.Err,
-		Block:   c.CurrentBlock(),
+		Block:   c.currentBlock(),
 	}
 }

@@ -1,0 +1,160 @@
+package pipeline_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+type item struct {
+	idx int
+	val int
+}
+
+// TestThreeStageOrderedResults pushes an ordered stream through three
+// concurrent stages and checks that indexed collection restores input
+// order regardless of completion order.
+func TestThreeStageOrderedResults(t *testing.T) {
+	const n = 500
+	e := pipeline.New()
+	stDouble := e.NewStage("double", 4)
+	stAddOne := e.NewStage("add-one", 3)
+	stSink := e.NewStage("sink", 2)
+
+	doubleCh := make(chan item, 8)
+	addCh := make(chan item, 8)
+	sinkCh := make(chan item, 8)
+	out := make([]int, n)
+
+	e.Go(func() {
+		for i := 0; i < n; i++ {
+			doubleCh <- item{idx: i, val: i}
+		}
+		close(doubleCh)
+	})
+	pipeline.Run(e, stDouble, doubleCh, func(it item) {
+		it.val *= 2
+		addCh <- it
+	}, func() { close(addCh) })
+	pipeline.Run(e, stAddOne, addCh, func(it item) {
+		it.val++
+		sinkCh <- it
+	}, func() { close(sinkCh) })
+	pipeline.Run(e, stSink, sinkCh, func(it item) {
+		out[it.idx] = it.val
+	}, nil)
+	e.Wait()
+
+	for i := 0; i < n; i++ {
+		if out[i] != 2*i+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], 2*i+1)
+		}
+	}
+	for _, s := range []*pipeline.Stage{stDouble, stAddOne, stSink} {
+		if s.Processed() != n {
+			t.Errorf("stage %s processed %d, want %d", s.Name(), s.Processed(), n)
+		}
+	}
+}
+
+// TestFilteringStageDropsItems verifies that a stage may emit fewer items
+// than it receives and downstream closure still propagates.
+func TestFilteringStageDropsItems(t *testing.T) {
+	const n = 100
+	e := pipeline.New()
+	stFilter := e.NewStage("filter", 2)
+	stSink := e.NewStage("sink", 2)
+
+	in := make(chan item, 4)
+	kept := make(chan item, 4)
+	var mu sync.Mutex
+	var got []int
+
+	e.Go(func() {
+		for i := 0; i < n; i++ {
+			in <- item{idx: i, val: i}
+		}
+		close(in)
+	})
+	pipeline.Run(e, stFilter, in, func(it item) {
+		if it.val%2 == 0 {
+			kept <- it
+		}
+	}, func() { close(kept) })
+	pipeline.Run(e, stSink, kept, func(it item) {
+		mu.Lock()
+		got = append(got, it.val)
+		mu.Unlock()
+	}, nil)
+	e.Wait()
+
+	if len(got) != n/2 {
+		t.Fatalf("sink received %d items, want %d", len(got), n/2)
+	}
+	if stSink.Processed() != int64(n/2) {
+		t.Errorf("sink processed %d, want %d", stSink.Processed(), n/2)
+	}
+}
+
+// TestSnapshotCounters checks the derived snapshot fields.
+func TestSnapshotCounters(t *testing.T) {
+	e := pipeline.New()
+	s := e.NewStage("work", 2)
+	in := make(chan item)
+	var st pipeline.Stats
+
+	e.Go(func() {
+		for i := 0; i < 10; i++ {
+			st.Scanned.Add(1)
+			in <- item{idx: i}
+		}
+		close(in)
+	})
+	pipeline.Run(e, s, in, func(it item) {
+		if it.idx%2 == 0 {
+			st.CacheHits.Add(1)
+		} else {
+			st.Emulations.Add(1)
+		}
+	}, nil)
+	e.Wait()
+
+	snap := e.Snapshot(&st)
+	if snap.Contracts != 10 {
+		t.Errorf("contracts = %d, want 10", snap.Contracts)
+	}
+	if snap.CacheHits != 5 || snap.Emulations != 5 {
+		t.Errorf("hits/emulations = %d/%d, want 5/5", snap.CacheHits, snap.Emulations)
+	}
+	if snap.CacheHitRate != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", snap.CacheHitRate)
+	}
+	if snap.ContractsPerSec <= 0 {
+		t.Errorf("contracts/s = %v, want > 0", snap.ContractsPerSec)
+	}
+	if len(snap.Stages) != 1 || snap.Stages[0].Processed != 10 {
+		t.Errorf("stage snapshot = %+v", snap.Stages)
+	}
+	if snap.Stages[0].Workers != 2 || snap.Stages[0].Name != "work" {
+		t.Errorf("stage meta = %+v", snap.Stages[0])
+	}
+}
+
+// TestZeroWorkersClamped ensures a degenerate pool size still runs.
+func TestZeroWorkersClamped(t *testing.T) {
+	e := pipeline.New()
+	s := e.NewStage("solo", 0)
+	if s.Workers() != 1 {
+		t.Fatalf("workers = %d, want clamped to 1", s.Workers())
+	}
+	in := make(chan item, 1)
+	in <- item{val: 7}
+	close(in)
+	done := 0
+	pipeline.Run(e, s, in, func(item) { done++ }, nil)
+	e.Wait()
+	if done != 1 {
+		t.Fatalf("processed %d, want 1", done)
+	}
+}

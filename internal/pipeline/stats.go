@@ -1,0 +1,110 @@
+package pipeline
+
+import "sync/atomic"
+
+// Counter is an atomic int64 with a JSON-friendly name. It is safe to
+// update from any number of stage workers.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Stats holds the run-wide counters of one analysis pipeline execution.
+// Stage-local counts (items processed, busy time) live on the stages;
+// these are the cross-cutting totals the paper's Section 6.1 reports on.
+// All fields are safe for concurrent update while the pipeline runs.
+type Stats struct {
+	// Scanned counts items fed into the pipeline.
+	Scanned Counter
+	// NoCode counts addresses rejected for holding no bytecode.
+	NoCode Counter
+	// FilterRejected counts contracts rejected by the disassembly filter
+	// (no DELEGATECALL opcode) without an emulation.
+	FilterRejected Counter
+	// Emulations counts full EVM emulation probes actually executed.
+	Emulations Counter
+	// CacheHits counts detection verdicts served from the bytecode-dedup
+	// cache instead of a fresh emulation.
+	CacheHits Counter
+	// EmulationAborts counts probes that ended in a terminal EVM error.
+	EmulationAborts Counter
+	// ProxiesDetected counts positive verdicts.
+	ProxiesDetected Counter
+	// PairsAnalyzed counts proxy/logic pairs through collision analysis.
+	PairsAnalyzed Counter
+	// HistoriesRecovered counts proxies whose full logic history was
+	// recovered (only when the history stage is enabled).
+	HistoriesRecovered Counter
+	// StorageAPICalls is the number of archive getStorageAt calls the run
+	// issued; set once at the end from the chain's counter delta.
+	StorageAPICalls Counter
+}
+
+// StageSnapshot is the frozen instrumentation of one stage.
+type StageSnapshot struct {
+	Name      string  `json:"name"`
+	Workers   int     `json:"workers"`
+	Processed int64   `json:"processed"`
+	BusyMS    float64 `json:"busy_ms"`
+}
+
+// Snapshot is the JSON-serializable summary of one pipeline run: the
+// run-wide counters plus per-stage instrumentation. It is immutable once
+// taken.
+type Snapshot struct {
+	Contracts       int64   `json:"contracts"`
+	WallMS          float64 `json:"wall_ms"`
+	ContractsPerSec float64 `json:"contracts_per_sec"`
+
+	NoCode         int64 `json:"no_code"`
+	FilterRejected int64 `json:"filter_rejected"`
+
+	Emulations      int64   `json:"emulations"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	EmulationAborts int64   `json:"emulation_aborts"`
+
+	ProxiesDetected    int64 `json:"proxies_detected"`
+	PairsAnalyzed      int64 `json:"pairs_analyzed"`
+	HistoriesRecovered int64 `json:"histories_recovered,omitempty"`
+	StorageAPICalls    int64 `json:"get_storage_at_calls"`
+
+	Stages []StageSnapshot `json:"stages"`
+}
+
+// Snapshot freezes the engine's stage instrumentation together with the
+// run-wide stats into a serializable record. Call it after Wait.
+func (e *Engine) Snapshot(st *Stats) *Snapshot {
+	wall := e.Wall()
+	snap := &Snapshot{
+		Contracts:          st.Scanned.Load(),
+		WallMS:             float64(wall.Microseconds()) / 1000,
+		NoCode:             st.NoCode.Load(),
+		FilterRejected:     st.FilterRejected.Load(),
+		Emulations:         st.Emulations.Load(),
+		CacheHits:          st.CacheHits.Load(),
+		EmulationAborts:    st.EmulationAborts.Load(),
+		ProxiesDetected:    st.ProxiesDetected.Load(),
+		PairsAnalyzed:      st.PairsAnalyzed.Load(),
+		HistoriesRecovered: st.HistoriesRecovered.Load(),
+		StorageAPICalls:    st.StorageAPICalls.Load(),
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		snap.ContractsPerSec = float64(snap.Contracts) / secs
+	}
+	if lookups := snap.CacheHits + snap.Emulations; lookups > 0 {
+		snap.CacheHitRate = float64(snap.CacheHits) / float64(lookups)
+	}
+	for _, s := range e.stages {
+		snap.Stages = append(snap.Stages, StageSnapshot{
+			Name:      s.name,
+			Workers:   s.workers,
+			Processed: s.processed.Load(),
+			BusyMS:    float64(s.busy.Load()) / 1e6,
+		})
+	}
+	return snap
+}

@@ -1,0 +1,245 @@
+package proxion
+
+import (
+	"runtime"
+
+	"repro/internal/disasm"
+	"repro/internal/etypes"
+	"repro/internal/evm"
+	"repro/internal/pipeline"
+)
+
+// AnalyzeOptions tunes the streaming analysis engine. The zero value
+// selects production defaults: every stage sized from GOMAXPROCS, the
+// bytecode-dedup cache on, no history stage.
+type AnalyzeOptions struct {
+	// FilterWorkers, ProbeWorkers, ClassifyWorkers, HistoryWorkers and
+	// PairWorkers size each stage's pool; zero picks a default derived
+	// from GOMAXPROCS (the probe stage, where emulation time concentrates,
+	// gets the most).
+	FilterWorkers   int
+	ProbeWorkers    int
+	ClassifyWorkers int
+	HistoryWorkers  int
+	PairWorkers     int
+	// ChannelDepth bounds the inter-stage channels (default 4×GOMAXPROCS,
+	// minimum 16).
+	ChannelDepth int
+	// DisableDedup turns off the bytecode-dedup verdict cache, probing
+	// every address with a fresh emulation — the ablation mode.
+	DisableDedup bool
+	// WithHistory enables the logic-history stage: each storage proxy's
+	// full implementation history is recovered with Algorithm 1 and every
+	// historical pair is collision-analyzed into Result.Histories.
+	WithHistory bool
+}
+
+// The streaming engine's work-item types; idx is the contract's position
+// in the chain's deterministic order, which anchors result ordering.
+type (
+	feedItem     struct{ idx int; addr etypes.Address }
+	probeItem    struct {
+		idx  int
+		addr etypes.Address
+		code []byte
+	}
+	classifyItem struct {
+		idx  int
+		code []byte
+		rep  Report
+	}
+	pairItem struct {
+		idx          int
+		proxy, logic etypes.Address
+	}
+	historyItem struct {
+		idx int
+		rep Report
+	}
+)
+
+// AnalyzeAll runs the full streaming pipeline over every alive contract:
+// disassembly filter → emulation probe (bytecode-deduplicated) →
+// classification → pair collision analysis, all stages concurrent with no
+// barrier in between — a detected proxy enters pair analysis while later
+// contracts are still being probed. Results keep the chain's deterministic
+// contract order.
+func (d *Detector) AnalyzeAll(sources SourceProvider) *Result {
+	return d.AnalyzeAllWithOptions(sources, AnalyzeOptions{})
+}
+
+// AnalyzeAllWithOptions is AnalyzeAll with explicit engine tuning.
+func (d *Detector) AnalyzeAllWithOptions(sources SourceProvider, opts AnalyzeOptions) *Result {
+	return d.analyze(d.chain.Contracts(), sources, opts)
+}
+
+// AnalyzeSince runs the same streaming pipeline restricted to contracts
+// deployed after the given block height — the incremental mode a
+// production deployment uses to keep pace with the chain instead of
+// re-scanning all 36M contracts. AnalyzeSince(0, …) is equivalent to
+// AnalyzeAll.
+func (d *Detector) AnalyzeSince(height uint64, sources SourceProvider) *Result {
+	var addrs []etypes.Address
+	for _, addr := range d.chain.Contracts() {
+		if d.chain.CreatedAt(addr) > height {
+			addrs = append(addrs, addr)
+		}
+	}
+	return d.analyze(addrs, sources, AnalyzeOptions{})
+}
+
+// analyze is the one whole-chain analysis code path: every entry point
+// (full scans, incremental scans, experiments, the CLI) funnels here.
+func (d *Detector) analyze(addrs []etypes.Address, sources SourceProvider, opts AnalyzeOptions) *Result {
+	n := len(addrs)
+	reports := make([]Report, n)
+	pairSlots := make([]*PairAnalysis, n)
+	var histSlots []*HistoricalAnalysis
+	if opts.WithHistory {
+		histSlots = make([]*HistoricalAnalysis, n)
+	}
+
+	procs := runtime.GOMAXPROCS(0)
+	size := func(configured, def int) int {
+		if configured > 0 {
+			return configured
+		}
+		if def < 1 {
+			return 1
+		}
+		return def
+	}
+	depth := opts.ChannelDepth
+	if depth <= 0 {
+		depth = 4 * procs
+		if depth < 16 {
+			depth = 16
+		}
+	}
+
+	eng := pipeline.New()
+	var stats pipeline.Stats
+	apiBefore := d.chain.APICalls()
+
+	// The probe stage gets the full CPU budget — emulation dominates the
+	// per-contract cost — while the cheap bookends share smaller pools.
+	stFilter := eng.NewStage("disasm-filter", size(opts.FilterWorkers, procs/4))
+	stProbe := eng.NewStage("emulation-probe", size(opts.ProbeWorkers, procs))
+	stClassify := eng.NewStage("classification", size(opts.ClassifyWorkers, procs/4))
+	var stHistory *pipeline.Stage
+	if opts.WithHistory {
+		stHistory = eng.NewStage("logic-history", size(opts.HistoryWorkers, procs/2))
+	}
+	stPair := eng.NewStage("pair-analysis", size(opts.PairWorkers, procs/2))
+
+	feedCh := make(chan feedItem, depth)
+	probeCh := make(chan probeItem, depth)
+	classifyCh := make(chan classifyItem, depth)
+	pairCh := make(chan pairItem, depth)
+	var histCh chan historyItem
+	if opts.WithHistory {
+		histCh = make(chan historyItem, depth)
+	}
+
+	eng.Go(func() {
+		for i, addr := range addrs {
+			stats.Scanned.Add(1)
+			feedCh <- feedItem{idx: i, addr: addr}
+		}
+		close(feedCh)
+	})
+
+	// Stage 1 — disassembly filter (Section 4.1): contracts without a
+	// DELEGATECALL opcode are rejected without an emulation.
+	pipeline.Run(eng, stFilter, feedCh, func(it feedItem) {
+		code := d.chain.Code(it.addr)
+		switch {
+		case len(code) == 0:
+			stats.NoCode.Add(1)
+			reports[it.idx] = Report{Address: it.addr, Reason: "no code at address"}
+		case !disasm.ContainsOp(code, evm.DELEGATECALL):
+			stats.FilterRejected.Add(1)
+			reports[it.idx] = Report{Address: it.addr, Reason: "bytecode contains no DELEGATECALL opcode"}
+		default:
+			probeCh <- probeItem{idx: it.idx, addr: it.addr, code: code}
+		}
+	}, func() { close(probeCh) })
+
+	// Stage 2 — emulation probe (Section 4.2), one emulation per *unique*
+	// runtime bytecode thanks to the verdict cache.
+	pipeline.Run(eng, stProbe, probeCh, func(it probeItem) {
+		var rep Report
+		if opts.DisableDedup {
+			rep = d.emulateProbe(it.addr, it.code, CraftCallData(it.addr, it.code)).rep
+			stats.Emulations.Add(1)
+		} else {
+			var hit bool
+			rep, hit = d.checkDeduped(it.addr, it.code)
+			if hit {
+				stats.CacheHits.Add(1)
+			} else {
+				stats.Emulations.Add(1)
+			}
+		}
+		if rep.EmulationErr != nil {
+			stats.EmulationAborts.Add(1)
+		}
+		classifyCh <- classifyItem{idx: it.idx, code: it.code, rep: rep}
+	}, func() { close(classifyCh) })
+
+	// Stage 3 — classification (Table 4) and fan-out: a detected proxy
+	// flows straight into pair analysis (and optionally history recovery)
+	// with no barrier.
+	pipeline.Run(eng, stClassify, classifyCh, func(it classifyItem) {
+		rep := it.rep
+		if rep.IsProxy {
+			rep.Standard = classify(it.code, rep)
+			stats.ProxiesDetected.Add(1)
+		}
+		reports[it.idx] = rep
+		if rep.IsProxy && !rep.Logic.IsZero() {
+			if histCh != nil {
+				histCh <- historyItem{idx: it.idx, rep: rep}
+			}
+			pairCh <- pairItem{idx: it.idx, proxy: rep.Address, logic: rep.Logic}
+		}
+	}, func() {
+		close(pairCh)
+		if histCh != nil {
+			close(histCh)
+		}
+	})
+
+	// Stage 4 (optional) — logic-history recovery via Algorithm 1.
+	if opts.WithHistory {
+		pipeline.Run(eng, stHistory, histCh, func(it historyItem) {
+			h := d.AnalyzePairHistory(it.rep, sources)
+			histSlots[it.idx] = &h
+			stats.HistoriesRecovered.Add(1)
+		}, nil)
+	}
+
+	// Stage 5 — pair collision analysis (Section 5).
+	pipeline.Run(eng, stPair, pairCh, func(it pairItem) {
+		pa := d.AnalyzePair(it.proxy, it.logic, sources)
+		pairSlots[it.idx] = &pa
+		stats.PairsAnalyzed.Add(1)
+	}, nil)
+
+	eng.Wait()
+	stats.StorageAPICalls.Add(d.chain.APICalls() - apiBefore)
+
+	res := &Result{Reports: reports}
+	for _, pa := range pairSlots {
+		if pa != nil {
+			res.Pairs = append(res.Pairs, *pa)
+		}
+	}
+	for _, h := range histSlots {
+		if h != nil {
+			res.Histories = append(res.Histories, *h)
+		}
+	}
+	res.Stats = eng.Snapshot(&stats)
+	return res
+}

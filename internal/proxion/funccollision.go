@@ -119,8 +119,75 @@ func sortCollisions(cs []FunctionCollision) {
 	})
 }
 
+// selectorMemo caches the keccak of function prototypes process-wide:
+// selectorOf is a pure function and prototype strings repeat across every
+// analyzed pair, so hashing each one once is enough.
+var selectorMemo sync.Map // string -> [4]byte
+
 func selectorOf(proto string) [4]byte {
-	return etypes.Keccak([]byte(proto)).SelectorBytes()
+	if v, ok := selectorMemo.Load(proto); ok {
+		return v.([4]byte)
+	}
+	sel := etypes.Keccak([]byte(proto)).SelectorBytes()
+	selectorMemo.Store(proto, sel)
+	return sel
+}
+
+// viewKey identifies one memoized selector view: the bytecode hash plus the
+// resolved source contract (distinct sources over identical bytecode get
+// distinct entries; the pointer is a stable identity within one registry).
+type viewKey struct {
+	hash etypes.Hash
+	src  *solc.Contract
+}
+
+// viewCache memoizes viewOf per (bytecode, source) — the duplicate-heavy
+// landscape reuses the same logic contract across hundreds of pairs.
+type viewCache struct {
+	mu sync.Mutex
+	m  map[viewKey]selectorView
+}
+
+func newViewCache() *viewCache {
+	return &viewCache{m: make(map[viewKey]selectorView)}
+}
+
+func (c *viewCache) get(hash etypes.Hash, code []byte, src *solc.Contract) selectorView {
+	k := viewKey{hash: hash, src: src}
+	c.mu.Lock()
+	v, ok := c.m[k]
+	c.mu.Unlock()
+	if ok {
+		return v
+	}
+	v = viewOf(code, src)
+	c.mu.Lock()
+	c.m[k] = v
+	c.mu.Unlock()
+	return v
+}
+
+// functionCollisions is FunctionCollisions with the per-bytecode views
+// served from the detector's memo.
+func (d *Detector) functionCollisions(proxyHash, logicHash etypes.Hash, proxyCode, logicCode []byte, proxySrc, logicSrc *solc.Contract) []FunctionCollision {
+	pv := d.viewCache.get(proxyHash, proxyCode, proxySrc)
+	lv := d.viewCache.get(logicHash, logicCode, logicSrc)
+	logicSet := make(map[[4]byte]struct{}, len(lv.selectors))
+	for _, s := range lv.selectors {
+		logicSet[s] = struct{}{}
+	}
+	var out []FunctionCollision
+	for _, s := range pv.selectors {
+		if _, ok := logicSet[s]; ok {
+			out = append(out, FunctionCollision{
+				Selector:   s,
+				ProxyProto: pv.protoOf[s],
+				LogicProto: lv.protoOf[s],
+			})
+		}
+	}
+	sortCollisions(out)
+	return out
 }
 
 // selectorCache memoizes dispatcher extraction by code hash. The paper

@@ -56,7 +56,13 @@ func (o *overlayState) GetCode(a etypes.Address) []byte {
 }
 
 func (o *overlayState) GetCodeHash(a etypes.Address) etypes.Hash {
-	return etypes.Keccak(o.GetCode(a))
+	if _, gone := o.dead[a]; gone {
+		return etypes.Keccak(nil)
+	}
+	if c, ok := o.code[a]; ok {
+		return etypes.Keccak(c)
+	}
+	return o.base.CodeHash(a)
 }
 
 func (o *overlayState) GetBalance(a etypes.Address) u256.Int {

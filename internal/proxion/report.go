@@ -1,10 +1,10 @@
 package proxion
 
 import (
-	"runtime"
 	"sync"
 
 	"repro/internal/etypes"
+	"repro/internal/pipeline"
 	"repro/internal/solc"
 )
 
@@ -19,7 +19,12 @@ func newAccessCache() *accessCache {
 }
 
 func (c *accessCache) get(code []byte) []StorageAccess {
-	h := etypes.Keccak(code)
+	return c.getByHash(etypes.Keccak(code), code)
+}
+
+// getByHash is get with the bytecode hash already computed, so callers that
+// key several caches can pay for the keccak once.
+func (c *accessCache) getByHash(h etypes.Hash, code []byte) []StorageAccess {
 	c.mu.Lock()
 	cached, ok := c.m[h]
 	c.mu.Unlock()
@@ -69,10 +74,14 @@ func (d *Detector) AnalyzePair(proxy, logic etypes.Address, sources SourceProvid
 	pa.ProxyHasSource = proxySrc != nil
 	pa.LogicHasSource = logicSrc != nil
 
-	pa.Functions = FunctionCollisions(proxyCode, logicCode, proxySrc, logicSrc)
+	// The chain's cached code hashes key every per-code memo below.
+	proxyHash := d.chain.CodeHash(proxy)
+	logicHash := d.chain.CodeHash(logic)
 
-	proxyAcc := d.accessCache.get(proxyCode)
-	logicAcc := d.accessCache.get(logicCode)
+	pa.Functions = d.functionCollisions(proxyHash, logicHash, proxyCode, logicCode, proxySrc, logicSrc)
+
+	proxyAcc := d.accessCache.getByHash(proxyHash, proxyCode)
+	logicAcc := d.accessCache.getByHash(logicHash, logicCode)
 	pa.Storage = StorageCollisions(proxyAcc, logicAcc)
 	if len(pa.Storage) > 0 {
 		pa.ExploitVerified = d.VerifyStorageExploit(proxy, logic, pa.Storage)
@@ -95,6 +104,11 @@ type Result struct {
 	// Pairs holds the collision analysis of every detected proxy with its
 	// current logic contract.
 	Pairs []PairAnalysis
+	// Histories holds the recovered logic-history analyses, only when the
+	// run enabled AnalyzeOptions.WithHistory.
+	Histories []HistoricalAnalysis
+	// Stats is the pipeline instrumentation snapshot of the run.
+	Stats *pipeline.Snapshot
 }
 
 // Proxies returns the subset of reports that detected a proxy.
@@ -108,61 +122,3 @@ func (r *Result) Proxies() []Report {
 	return out
 }
 
-// AnalyzeAll runs detection over every alive contract, then collision
-// analysis over every detected pair. Detection runs on a worker pool: each
-// emulation is independent (overlay state), which is what lets the paper
-// process ~150 contracts per second on a commodity machine.
-func (d *Detector) AnalyzeAll(sources SourceProvider) *Result {
-	addrs := d.chain.Contracts()
-	reports := make([]Report, len(addrs))
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(addrs) {
-		workers = len(addrs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				reports[i] = d.Check(addrs[i])
-			}
-		}()
-	}
-	for i := range addrs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
-	res := &Result{Reports: reports}
-	for _, rep := range reports {
-		if rep.IsProxy && !rep.Logic.IsZero() {
-			res.Pairs = append(res.Pairs, d.AnalyzePair(rep.Address, rep.Logic, sources))
-		}
-	}
-	return res
-}
-
-// AnalyzeSince runs detection only over contracts deployed after the given
-// block height — the incremental mode a production deployment would use to
-// keep pace with the chain instead of re-scanning all 36M contracts.
-func (d *Detector) AnalyzeSince(height uint64, sources SourceProvider) *Result {
-	res := &Result{}
-	for _, addr := range d.chain.Contracts() {
-		if d.chain.CreatedAt(addr) <= height {
-			continue
-		}
-		rep := d.Check(addr)
-		res.Reports = append(res.Reports, rep)
-		if rep.IsProxy && !rep.Logic.IsZero() {
-			res.Pairs = append(res.Pairs, d.AnalyzePair(rep.Address, rep.Logic, sources))
-		}
-	}
-	return res
-}

@@ -3,6 +3,8 @@ package proxion
 import (
 	"encoding/json"
 	"fmt"
+
+	"repro/internal/pipeline"
 )
 
 // Summary aggregates a whole-chain analysis into the headline numbers the
@@ -27,6 +29,11 @@ type Summary struct {
 	PairsWithFunctionCollisions int `json:"pairs_with_function_collisions"`
 	PairsWithStorageCollisions  int `json:"pairs_with_storage_collisions"`
 	VerifiedExploits            int `json:"verified_exploits"`
+
+	// Pipeline is the engine instrumentation of the run that produced the
+	// Result: throughput, dedup-cache hit rate, emulation aborts,
+	// getStorageAt call count and per-stage worker utilization.
+	Pipeline *pipeline.Snapshot `json:"pipeline,omitempty"`
 }
 
 // Summarize folds a Result into a Summary.
@@ -34,6 +41,7 @@ func Summarize(res *Result) Summary {
 	s := Summary{
 		Contracts: len(res.Reports),
 		Standards: make(map[string]int),
+		Pipeline:  res.Stats,
 	}
 	for _, rep := range res.Reports {
 		if rep.EmulationErr != nil {
