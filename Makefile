@@ -1,6 +1,12 @@
-# Standard entry points; `make ci` is what the workflow runs.
+# Standard entry points; `make ci` is what the workflow runs on every
+# push, `make fuzz` is the scheduled deep run.
 
-.PHONY: build vet test race bench ci
+.PHONY: build vet test short race bench ci fuzz
+
+# Per-target budget for the native fuzz engines in `make fuzz`.
+FUZZTIME ?= 60s
+# Number of generated chains the nightly differential sweep checks.
+ORACLE_SWEEP ?= 500
 
 build:
 	go build ./...
@@ -11,10 +17,24 @@ vet:
 test:
 	go test ./...
 
+# Tier-1 gate: small fixed corpora only, wide sweeps skipped.
+short:
+	go test -short ./...
+
 race:
-	go test -race ./...
+	go test -race -short ./...
 
 bench:
 	go test -run '^$$' -bench . -benchmem .
 
 ci: build vet race
+
+# Deep verification: the wide differential-oracle sweep over freshly
+# generated chains, then every native fuzz target (each seeded from the
+# generator's corpus) for FUZZTIME apiece.
+fuzz:
+	ORACLE_SWEEP=$(ORACLE_SWEEP) go test ./internal/gen/oracle -run TestOracleSweep -count=1 -timeout 30m
+	go test ./internal/gen/oracle -run '^$$' -fuzz FuzzGeneratorOracle -fuzztime $(FUZZTIME)
+	go test ./internal/u256 -run '^$$' -fuzz FuzzU256VsBigInt -fuzztime $(FUZZTIME)
+	go test ./internal/evm -run '^$$' -fuzz FuzzExecuteArbitraryBytecode -fuzztime $(FUZZTIME)
+	go test ./internal/evm -run '^$$' -fuzz FuzzProxyProbe -fuzztime $(FUZZTIME)

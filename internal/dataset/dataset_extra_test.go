@@ -1,0 +1,104 @@
+package dataset_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestGenerateDeepDeterminism strengthens the sampling-determinism check
+// beyond addresses and kinds: the installed bytecode, the per-label ground
+// truth, and the source registry must all be identical across runs of the
+// same seed.
+func TestGenerateDeepDeterminism(t *testing.T) {
+	a := dataset.Generate(dataset.Config{Seed: 7, Contracts: 400})
+	b := dataset.Generate(dataset.Config{Seed: 7, Contracts: 400})
+	if len(a.Labels) != len(b.Labels) {
+		t.Fatalf("label counts differ: %d vs %d", len(a.Labels), len(b.Labels))
+	}
+	if a.Registry.Count() != b.Registry.Count() {
+		t.Fatalf("registry sizes differ: %d vs %d", a.Registry.Count(), b.Registry.Count())
+	}
+	for i := range a.Labels {
+		la, lb := a.Labels[i], b.Labels[i]
+		if la.Address != lb.Address || la.Kind != lb.Kind || la.Year != lb.Year ||
+			la.IsProxy != lb.IsProxy || la.Logic != lb.Logic ||
+			la.ImplSlot != lb.ImplSlot || la.HasSource != lb.HasSource ||
+			la.HasTx != lb.HasTx || la.CompilerKnown != lb.CompilerKnown {
+			t.Fatalf("label %d fields differ:\n%+v\n%+v", i, la, lb)
+		}
+		if !bytes.Equal(a.Chain.Code(la.Address), b.Chain.Code(lb.Address)) {
+			t.Fatalf("label %d (%v): bytecode differs across runs", i, la.Kind)
+		}
+		if a.Chain.CreatedAt(la.Address) != b.Chain.CreatedAt(lb.Address) {
+			t.Fatalf("label %d: creation block differs across runs", i)
+		}
+		if a.Chain.TxCount(la.Address) != b.Chain.TxCount(lb.Address) {
+			t.Fatalf("label %d: transaction count differs across runs", i)
+		}
+	}
+}
+
+// TestPopulationIndexConsistent: ByAddr must be a complete, collision-free
+// index of Labels.
+func TestPopulationIndexConsistent(t *testing.T) {
+	pop := dataset.Generate(dataset.Config{Seed: 3, Contracts: 300})
+	if len(pop.ByAddr) != len(pop.Labels) {
+		t.Fatalf("ByAddr has %d entries for %d labels (duplicate addresses?)", len(pop.ByAddr), len(pop.Labels))
+	}
+	for _, l := range pop.Labels {
+		if pop.ByAddr[l.Address] != l {
+			t.Fatalf("ByAddr[%v] does not point back at its label", l.Address)
+		}
+	}
+}
+
+// TestAccuracyCorpusDeterministic: the Table 2 corpus takes no seed, so two
+// builds must agree case-by-case and byte-by-byte.
+func TestAccuracyCorpusDeterministic(t *testing.T) {
+	a := dataset.GenerateAccuracyCorpus()
+	b := dataset.GenerateAccuracyCorpus()
+	check := func(name string, ca, cb []dataset.PairCase) {
+		if len(ca) != len(cb) {
+			t.Fatalf("%s: case counts differ: %d vs %d", name, len(ca), len(cb))
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("%s case %d differs: %+v vs %+v", name, i, ca[i], cb[i])
+			}
+			if !bytes.Equal(a.Chain.Code(ca[i].Proxy), b.Chain.Code(cb[i].Proxy)) {
+				t.Fatalf("%s case %d: proxy bytecode differs", name, i)
+			}
+			if !bytes.Equal(a.Chain.Code(ca[i].Logic), b.Chain.Code(cb[i].Logic)) {
+				t.Fatalf("%s case %d: logic bytecode differs", name, i)
+			}
+		}
+	}
+	check("storage", a.StoragePairs, b.StoragePairs)
+	check("function", a.FunctionPairs, b.FunctionPairs)
+}
+
+// TestYearOfEdges pins the year curve's boundary behaviour: the first block
+// lands in 2015, heights beyond the last cohort clamp to 2023, and the
+// mapping never decreases with height.
+func TestYearOfEdges(t *testing.T) {
+	pop := dataset.Generate(dataset.Config{Seed: 1, Contracts: 200})
+	if got := pop.YearOf(1); got != 2015 {
+		t.Errorf("YearOf(1) = %d, want 2015", got)
+	}
+	if got := pop.YearOf(1 << 40); got != 2023 {
+		t.Errorf("YearOf(huge) = %d, want clamp to 2023", got)
+	}
+	prev := 0
+	for block := uint64(1); block < 20_000; block += 97 {
+		y := pop.YearOf(block)
+		if y < prev {
+			t.Fatalf("YearOf not monotonic: block %d maps to %d after %d", block, y, prev)
+		}
+		if y < 2015 || y > 2023 {
+			t.Fatalf("YearOf(%d) = %d out of range", block, y)
+		}
+		prev = y
+	}
+}

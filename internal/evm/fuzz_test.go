@@ -17,6 +17,7 @@ func FuzzExecuteArbitraryBytecode(f *testing.F) {
 	f.Add([]byte{0x33, 0x33, 0x33, 0xf4})                   // underflow delegatecall
 	f.Add([]byte{0x36, 0x60, 0x00, 0x60, 0x00, 0x37, 0xf3}) // calldatacopy return
 	f.Add([]byte{0x7f})                                     // truncated push32
+	seedFuzzWithGeneratedCode(func(code []byte) { f.Add(code) })
 
 	f.Fuzz(func(t *testing.T, code []byte) {
 		st := newMemState()
@@ -38,6 +39,7 @@ func FuzzExecuteArbitraryBytecode(f *testing.F) {
 func FuzzProxyProbe(f *testing.F) {
 	f.Add([]byte{0xf4}, []byte{1, 2, 3, 4})
 	f.Add([]byte{0x36, 0x3d, 0x3d, 0x37, 0xf4}, []byte{})
+	seedFuzzWithGeneratedProbes(func(code, input []byte) { f.Add(code, input) })
 
 	f.Fuzz(func(t *testing.T, code, input []byte) {
 		st := newMemState()

@@ -1,0 +1,36 @@
+package gen
+
+// Minimize shrinks a failing configuration to the shortest generation
+// prefix that still fails, by binary search over Contracts.
+//
+// It relies on the generator's prefix-stability guarantee: the corpus at k
+// units is byte-identical to the first k units of the corpus at n > k, so a
+// failure caused by unit j reproduces at every prefix length > j and the
+// predicate is monotone in Contracts. The returned config pins the failing
+// unit as the corpus' last: regenerating it gives the smallest reproducer,
+// and its final label(s) are the ones to stare at.
+//
+// fails must be a pure function of the generated corpus (run the analysis,
+// report whether the failure is present). The second return is false when
+// cfg does not fail at all.
+func Minimize(cfg Config, fails func(Config) bool) (Config, bool) {
+	cfg = cfg.withDefaults()
+	if !fails(cfg) {
+		return cfg, false
+	}
+	// Invariant: fails at hi; lo is the smallest untested size.
+	lo, hi := 1, cfg.Contracts
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		probe := cfg
+		probe.Contracts = mid
+		if fails(probe) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	out := cfg
+	out.Contracts = hi
+	return out, true
+}

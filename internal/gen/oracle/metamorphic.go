@@ -1,0 +1,202 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+	"repro/internal/etypes"
+	"repro/internal/gen"
+	"repro/internal/proxion"
+	"repro/internal/solc"
+	"repro/internal/u256"
+)
+
+// abiClobber is the injected writer's interface; the name is reserved (no
+// generated identifier lacks a numeric suffix), so it collides with nothing.
+func abiClobber() abi.Function { return abi.Function{Name: "metamorphicClobber"} }
+
+// The metamorphic layer perturbs a generated pair in ways with a known
+// effect on the collision verdicts and checks that — and only that —
+// effect:
+//
+//   - renaming a non-colliding logic function must change nothing;
+//   - copying a proxy function's prototype into the logic contract must add
+//     exactly that selector to the function collisions;
+//   - adding a logic write whose field boundaries conflict with a proxy
+//     access must flip the storage-collision verdict on.
+//
+// Each helper mutates the corpus in place (recompile, reinstall,
+// republish), compares before/after pair analyses on fresh detectors, and
+// restores the original state before returning. The bool result reports
+// whether the label met the perturbation's preconditions.
+
+// cloneContract deep-copies the mutable parts of a source contract.
+func cloneContract(src *solc.Contract) *solc.Contract {
+	cp := *src
+	cp.Vars = append([]solc.Var(nil), src.Vars...)
+	cp.Funcs = append([]solc.Func(nil), src.Funcs...)
+	cp.DecoyPush4 = append([][4]byte(nil), src.DecoyPush4...)
+	return &cp
+}
+
+// pairOf analyzes the label's pair with a fresh detector (no state shared
+// across the mutation boundary).
+func pairOf(c *gen.Corpus, l *gen.Label) proxion.PairAnalysis {
+	return proxion.NewDetector(c.Chain).AnalyzePair(l.Address, l.Logic, c.Registry)
+}
+
+// swapLogic installs a mutated logic source and returns a restore func.
+func swapLogic(c *gen.Corpus, logicL *gen.Label, mutated *solc.Contract) func() {
+	c.Chain.InstallContract(logicL.Address, solc.MustCompile(mutated))
+	if logicL.HasSource {
+		c.Registry.Publish(logicL.Address, mutated, true)
+	}
+	return func() {
+		c.Chain.InstallContract(logicL.Address, logicL.Code)
+		if logicL.HasSource {
+			c.Registry.Publish(logicL.Address, logicL.Source, true)
+		}
+	}
+}
+
+func metaMismatch(addr etypes.Address, format string, args ...any) Mismatch {
+	return Mismatch{Addr: addr, Layer: "metamorphic", Detail: fmt.Sprintf(format, args...)}
+}
+
+// MetamorphicRename renames one non-colliding logic function and requires
+// every collision verdict to stay put.
+func MetamorphicRename(c *gen.Corpus, l *gen.Label) ([]Mismatch, bool) {
+	logicL := c.ByAddr[l.Logic]
+	if !l.Detectable || logicL == nil || logicL.Source == nil {
+		return nil, false
+	}
+	injected := make(map[[4]byte]bool, len(l.FuncCollisions))
+	for _, s := range l.FuncCollisions {
+		injected[s] = true
+	}
+	idx := -1
+	for i, f := range logicL.Source.Funcs {
+		if !injected[f.ABI.Selector()] {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, false
+	}
+
+	before := pairOf(c, l)
+	cp := cloneContract(logicL.Source)
+	cp.Funcs[idx].ABI.Name += "_renamed"
+	restore := swapLogic(c, logicL, cp)
+	defer restore()
+	after := pairOf(c, l)
+
+	var out []Mismatch
+	if b, a := selectorSet(before.Functions), selectorSet(after.Functions); b != a {
+		out = append(out, metaMismatch(l.Address,
+			"renaming non-colliding %q changed function collisions [%s] -> [%s]",
+			logicL.Source.Funcs[idx].ABI.Prototype(), b, a))
+	}
+	if b, a := len(before.Storage) > 0, len(after.Storage) > 0; b != a {
+		out = append(out, metaMismatch(l.Address,
+			"renaming non-colliding function changed storage collision %v -> %v", b, a))
+	}
+	return out, true
+}
+
+// MetamorphicInjectFunction copies one proxy function prototype into the
+// logic contract and requires exactly that selector to join the collisions.
+func MetamorphicInjectFunction(c *gen.Corpus, l *gen.Label) ([]Mismatch, bool) {
+	logicL := c.ByAddr[l.Logic]
+	if !l.Detectable || logicL == nil || logicL.Source == nil || l.Source == nil {
+		return nil, false
+	}
+	before := pairOf(c, l)
+	existing := make(map[[4]byte]bool, len(before.Functions))
+	for _, fc := range before.Functions {
+		existing[fc.Selector] = true
+	}
+	var pick *solc.Func
+	for i := range l.Source.Funcs {
+		if !existing[l.Source.Funcs[i].ABI.Selector()] {
+			pick = &l.Source.Funcs[i]
+			break
+		}
+	}
+	if pick == nil {
+		return nil, false
+	}
+
+	cp := cloneContract(logicL.Source)
+	cp.Funcs = append(cp.Funcs, solc.Func{
+		ABI:  pick.ABI,
+		Body: []solc.Stmt{solc.ReturnConst{Value: u256.FromUint64(9)}},
+	})
+	restore := swapLogic(c, logicL, cp)
+	defer restore()
+	after := pairOf(c, l)
+
+	want := make([][4]byte, 0, len(before.Functions)+1)
+	for _, fc := range before.Functions {
+		want = append(want, fc.Selector)
+	}
+	want = append(want, pick.ABI.Selector())
+
+	var out []Mismatch
+	if g, w := selectorSet(after.Functions), selectorKey(want); g != w {
+		out = append(out, metaMismatch(l.Address,
+			"injecting %q: collisions [%s], want exactly [%s]", pick.ABI.Prototype(), g, w))
+	}
+	return out, true
+}
+
+// MetamorphicInjectStorage adds a logic write whose field boundaries
+// conflict with an observed proxy storage access and requires the
+// storage-collision verdict to flip on (and the function verdicts to stay).
+func MetamorphicInjectStorage(c *gen.Corpus, l *gen.Label) ([]Mismatch, bool) {
+	logicL := c.ByAddr[l.Logic]
+	if !l.Detectable || l.StorageCollision || logicL == nil || logicL.Source == nil {
+		return nil, false
+	}
+	accs := proxion.ExtractStorageAccesses(l.Code)
+	if len(accs) == 0 {
+		return nil, false
+	}
+	before := pairOf(c, l)
+	if len(before.Storage) != 0 {
+		// Label says clean but the analyzer found a collision: the
+		// differential layer owns that disagreement, not this one.
+		return nil, false
+	}
+	// A full-slot write mismatches any field except (0,32); shrink to a
+	// 20-byte field in that case. Offset 0 guarantees overlap either way.
+	target := accs[0]
+	size := 32
+	if target.Offset == 0 && target.Size == 32 {
+		size = 20
+	}
+
+	cp := cloneContract(logicL.Source)
+	cp.Funcs = append(cp.Funcs, solc.Func{
+		ABI: abiClobber(),
+		Body: []solc.Stmt{solc.AssignCallerToSlot{
+			Slot: target.Slot, Offset: 0, Size: size,
+		}},
+	})
+	restore := swapLogic(c, logicL, cp)
+	defer restore()
+	after := pairOf(c, l)
+
+	var out []Mismatch
+	if len(after.Storage) == 0 {
+		out = append(out, metaMismatch(l.Address,
+			"injected %d-byte write over proxy access slot=%x field=%d+%d, but no storage collision detected",
+			size, target.Slot, target.Offset, target.Size))
+	}
+	if b, a := selectorSet(before.Functions), selectorSet(after.Functions); b != a {
+		out = append(out, metaMismatch(l.Address,
+			"storage injection changed function collisions [%s] -> [%s]", b, a))
+	}
+	return out, true
+}
