@@ -1,12 +1,15 @@
 # Standard entry points; `make ci` is what the workflow runs on every
-# push, `make fuzz` is the scheduled deep run.
+# push, `make fuzz` is the scheduled deep run, `make bench-gate` is the
+# pull-request performance gate.
 
-.PHONY: build vet test short race bench ci fuzz
+.PHONY: build vet test short race bench bench-gate bench-baseline ci fuzz
 
 # Per-target budget for the native fuzz engines in `make fuzz`.
 FUZZTIME ?= 60s
 # Number of generated chains the nightly differential sweep checks.
 ORACLE_SWEEP ?= 500
+# Allowed relative median regression for the performance gate (0.30 = +30%).
+BENCH_THRESHOLD ?= 0.30
 
 build:
 	go build ./...
@@ -25,7 +28,18 @@ race:
 	go test -race -short ./...
 
 bench:
-	go test -run '^$$' -bench . -benchmem .
+	go test -run '^$$' -bench . -benchmem ./...
+
+# Performance gate: run the quick deterministic suite (twice, best median
+# kept) and diff it against the checked-in baseline; non-zero exit on a
+# regression past BENCH_THRESHOLD.
+bench-gate:
+	go run ./cmd/proxbench -quick -threshold $(BENCH_THRESHOLD) compare
+
+# Refresh the checked-in quick baseline (run on an otherwise idle machine,
+# then commit bench/baseline.json with an explanation of what moved).
+bench-baseline:
+	go run ./cmd/proxbench -quick -repeats 3 -out bench/baseline.json
 
 ci: build vet race
 

@@ -5,6 +5,11 @@
 // values. Run with:
 //
 //	go test -bench=. -benchmem
+//
+// The throughput-critical benchmarks (streaming pipeline, dedup ablation,
+// storage slicing) are rebased onto the shared workload catalogue in
+// internal/bench, so `go test -bench` and the `proxbench` regression gate
+// measure the identical op; BenchmarkWorkloads runs the whole catalogue.
 package repro_test
 
 import (
@@ -14,6 +19,7 @@ import (
 	"testing"
 
 	"repro/internal/abi"
+	"repro/internal/bench"
 	"repro/internal/dataset"
 	"repro/internal/etypes"
 	"repro/internal/experiments"
@@ -279,6 +285,12 @@ func BenchmarkStorageCollision(b *testing.B) {
 	}
 }
 
+// BenchmarkStorageSlicingCorpus measures the same slicing engine across
+// every generated proxy/logic pair via the shared collision workload.
+func BenchmarkStorageSlicingCorpus(b *testing.B) {
+	runSharedWorkload(b, "collision/storage-slicing")
+}
+
 // BenchmarkSigminerThroughput measures selector-collision search speed —
 // the Section 2.3 "600M attempts in 1.5h on a laptop" experiment, scaled to
 // a 2-byte prefix.
@@ -384,24 +396,11 @@ func BenchmarkAnalyzeAll(b *testing.B) {
 }
 
 // BenchmarkPipelineAnalyzeAll measures the streaming engine end to end —
-// staged concurrency plus bytecode-dedup memoization — with a fresh
-// detector (cold cache) per iteration, reporting throughput and the
-// within-run cache hit rate.
+// staged concurrency plus bytecode-dedup memoization — via the shared
+// pipeline/stream-maxw workload (fresh detector per op, cold cache), so
+// this number and the proxbench gate track the same code path.
 func BenchmarkPipelineAnalyzeAll(b *testing.B) {
-	pop, _, _ := population(b)
-	var hitRate float64
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		det := proxion.NewDetector(pop.Chain)
-		res := det.AnalyzeAll(pop.Registry)
-		if len(res.Proxies()) == 0 {
-			b.Fatal("no proxies found")
-		}
-		hitRate = res.Stats.CacheHitRate
-	}
-	b.StopTimer()
-	b.ReportMetric(float64(len(pop.Chain.Contracts()))*float64(b.N)/b.Elapsed().Seconds(), "contracts/s")
-	b.ReportMetric(100*hitRate, "%hit")
+	runSharedWorkload(b, "pipeline/stream-maxw")
 }
 
 // BenchmarkAblationNoDedupCache is the same engine with the dedup cache
@@ -409,17 +408,7 @@ func BenchmarkPipelineAnalyzeAll(b *testing.B) {
 // BenchmarkPipelineAnalyzeAll is the throughput the cache buys on a
 // duplicate-dominated landscape (Figure 5's 98.7% skew, scaled).
 func BenchmarkAblationNoDedupCache(b *testing.B) {
-	pop, _, _ := population(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		det := proxion.NewDetector(pop.Chain)
-		res := det.AnalyzeAllWithOptions(pop.Registry, proxion.AnalyzeOptions{DisableDedup: true})
-		if len(res.Proxies()) == 0 {
-			b.Fatal("no proxies found")
-		}
-	}
-	b.StopTimer()
-	b.ReportMetric(float64(len(pop.Chain.Contracts()))*float64(b.N)/b.Elapsed().Seconds(), "contracts/s")
+	runSharedWorkload(b, "pipeline/stream-maxw-nocache")
 }
 
 // BenchmarkAnalyzeAllBarrier reproduces the pre-pipeline shape — a
@@ -511,4 +500,60 @@ func BenchmarkMultiChain(b *testing.B) {
 	}
 	b.StopTimer()
 	report(b, t)
+}
+
+// runSharedWorkload times one catalogue workload from internal/bench under
+// the go-test harness at the full-profile scale, then re-reports its
+// deterministic counters as benchmark metrics. Setup (corpus generation)
+// happens before the timer starts, exactly as in the proxbench runner.
+func runSharedWorkload(b *testing.B, name string) {
+	b.Helper()
+	w, ok := bench.FindWorkload(bench.Full, name)
+	if !ok {
+		b.Fatalf("workload %s not in the internal/bench catalogue", name)
+	}
+	inst := w.Setup(1, w.Scale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst.Op()
+	}
+	b.StopTimer()
+	reportWorkloadCounters(b, w, inst)
+}
+
+// reportWorkloadCounters surfaces the workload's headline counters the way
+// the hand-written benchmarks used to (throughput, cache hit rate).
+func reportWorkloadCounters(b *testing.B, w bench.Workload, inst bench.Instance) {
+	b.Helper()
+	if inst.Counters == nil {
+		return
+	}
+	c := inst.Counters()
+	if contracts := c["contracts"]; contracts > 0 {
+		b.ReportMetric(float64(contracts)*float64(b.N)/b.Elapsed().Seconds(), "contracts/s")
+	}
+	if lookups := c["cache_hits"] + c["emulations"]; lookups > 0 {
+		b.ReportMetric(100*float64(c["cache_hits"])/float64(lookups), "%hit")
+	}
+	if steps := c["evm_steps"]; steps > 0 {
+		b.ReportMetric(float64(steps)*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+	}
+}
+
+// BenchmarkWorkloads runs the entire shared catalogue at the quick-profile
+// scale — the same ops proxbench gates on — so a plain `go test -bench
+// Workloads .` reproduces the PR gate's measurements.
+func BenchmarkWorkloads(b *testing.B) {
+	for _, w := range bench.Suite(bench.Quick) {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			inst := w.Setup(1, w.Scale)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst.Op()
+			}
+			b.StopTimer()
+			reportWorkloadCounters(b, w, inst)
+		})
+	}
 }

@@ -53,7 +53,7 @@ func run() error {
 	proxies := res.Proxies()
 	if st := res.Stats; st != nil {
 		fmt.Printf("\nanalyzed %d contracts in %s (%.0f contracts/s)\n",
-			st.Contracts, (time.Duration(st.WallMS*float64(time.Millisecond))).Round(time.Millisecond),
+			st.Contracts, (time.Duration(st.WallMS * float64(time.Millisecond))).Round(time.Millisecond),
 			st.ContractsPerSec)
 		fmt.Printf("pipeline: %d emulations, %d cache hits (%.1f%% hit rate), %d aborts, %d getStorageAt calls\n",
 			st.Emulations, st.CacheHits, 100*st.CacheHitRate, st.EmulationAborts, st.StorageAPICalls)

@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Comparison errors a caller can branch on.
+var (
+	// ErrMissingBaseline means there is nothing to gate against; CI treats
+	// it as a hard failure (otherwise deleting the baseline would silence
+	// the gate), while a first-time local run refreshes the baseline.
+	ErrMissingBaseline = errors.New("bench: missing baseline report")
+	// ErrSchemaMismatch means baseline and current were produced by
+	// different report layouts; re-measure the baseline instead of
+	// guessing at field semantics.
+	ErrSchemaMismatch = errors.New("bench: schema version mismatch")
+)
+
+// CompareOptions tunes the regression gate.
+type CompareOptions struct {
+	// Threshold is the allowed relative median slowdown after calibration
+	// normalization: 0.30 fails a workload whose normalized median grew
+	// more than 30%. Default 0.30.
+	Threshold float64
+	// NoiseFloorNs exempts workloads whose baseline median is below this
+	// many nanoseconds — micro-workloads whose medians jitter by integer
+	// factors under CI load. They are still reported, never gated.
+	// Default 20µs.
+	NoiseFloorNs float64
+	// StrictCounters promotes deterministic-counter drift from a warning
+	// to a gate failure. Off by default: a PR that intentionally changes
+	// analyzer behavior refreshes the baseline, and the drift warning
+	// tells the reviewer to check that it was intentional.
+	StrictCounters bool
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.Threshold == 0 {
+		o.Threshold = 0.30
+	}
+	if o.NoiseFloorNs == 0 {
+		o.NoiseFloorNs = 20_000
+	}
+	return o
+}
+
+// WorkloadDelta is the per-workload comparison verdict.
+type WorkloadDelta struct {
+	Name       string
+	BaselineNs float64
+	CurrentNs  float64
+	// Ratio is current/baseline median after calibration normalization
+	// (raw when either run lacks the calibration workload).
+	Ratio float64
+	// MinRatio is the normalized current *minimum* over the baseline
+	// median — the noise cross-check: a genuine regression slows every
+	// sample down, a noise spike only inflates the median.
+	MinRatio float64
+	// Normalized says machine-speed normalization was applied.
+	Normalized bool
+	// Gated says the workload participated in the pass/fail decision
+	// (false below the noise floor and for the calibration workload).
+	Gated bool
+	// Regressed is the gate verdict for this workload.
+	Regressed bool
+	// CounterDrift lists deterministic counters whose values changed.
+	CounterDrift []string
+}
+
+// Comparison is the full diff of a current run against a baseline.
+type Comparison struct {
+	Threshold float64
+	// CalibrationScale is baseline-calibration-median / current-calibration-
+	// median: >1 means the current machine is faster. 0 when unavailable.
+	CalibrationScale float64
+	Deltas           []WorkloadDelta
+	// MissingWorkloads are in the baseline but absent from the current run.
+	MissingWorkloads []string
+	// NewWorkloads are in the current run but absent from the baseline.
+	NewWorkloads []string
+	// SeedsDiffer disables counter comparison (different corpora).
+	SeedsDiffer bool
+	failures    []string
+}
+
+// OK reports whether the gate passes.
+func (c *Comparison) OK() bool { return len(c.failures) == 0 }
+
+// Failures lists why the gate failed, one line each.
+func (c *Comparison) Failures() []string { return c.failures }
+
+// Compare diffs current against baseline with noise-aware thresholds.
+//
+// A workload regresses only when BOTH its normalized median and its
+// normalized minimum exceed the baseline median by the threshold (the min
+// gets half slack): medians catch sustained slowdowns, and requiring the
+// minimum to move too rejects one-off scheduler noise, so the gate "fails
+// only on >X% median regression across M repeats" as long as at least one
+// repeat got a clean machine slice.
+func Compare(baseline, current *Report, opts CompareOptions) (*Comparison, error) {
+	opts = opts.withDefaults()
+	if baseline == nil {
+		return nil, ErrMissingBaseline
+	}
+	if current == nil {
+		return nil, fmt.Errorf("bench: no current report to compare")
+	}
+	if baseline.SchemaVersion != current.SchemaVersion {
+		return nil, fmt.Errorf("%w: baseline v%d vs current v%d",
+			ErrSchemaMismatch, baseline.SchemaVersion, current.SchemaVersion)
+	}
+	if baseline.Profile != current.Profile {
+		return nil, fmt.Errorf("bench: profile mismatch: baseline %q vs current %q (regenerate the baseline with the same profile)",
+			baseline.Profile, current.Profile)
+	}
+
+	cmp := &Comparison{Threshold: opts.Threshold, SeedsDiffer: baseline.Seed != current.Seed}
+
+	// Machine-speed normalization from the shared pure-CPU workload.
+	baseCal, curCal := baseline.Workload(CalibrationName), current.Workload(CalibrationName)
+	if baseCal != nil && curCal != nil && baseCal.MedianNsPerOp > 0 && curCal.MedianNsPerOp > 0 {
+		cmp.CalibrationScale = baseCal.MedianNsPerOp / curCal.MedianNsPerOp
+	}
+
+	seen := make(map[string]bool)
+	for _, base := range baseline.Workloads {
+		seen[base.Name] = true
+		cur := current.Workload(base.Name)
+		if cur == nil {
+			cmp.MissingWorkloads = append(cmp.MissingWorkloads, base.Name)
+			cmp.failures = append(cmp.failures,
+				fmt.Sprintf("workload %s present in baseline but not measured by the current run", base.Name))
+			continue
+		}
+		d := WorkloadDelta{
+			Name:       base.Name,
+			BaselineNs: base.MedianNsPerOp,
+			CurrentNs:  cur.MedianNsPerOp,
+		}
+		curMedian, curMin := cur.MedianNsPerOp, cur.MinNsPerOp
+		if cmp.CalibrationScale > 0 {
+			// Scale current timings onto the baseline machine's clock.
+			curMedian *= cmp.CalibrationScale
+			curMin *= cmp.CalibrationScale
+			d.Normalized = true
+		}
+		if base.MedianNsPerOp > 0 {
+			d.Ratio = curMedian / base.MedianNsPerOp
+			d.MinRatio = curMin / base.MedianNsPerOp
+		}
+
+		d.Gated = base.Name != CalibrationName && base.MedianNsPerOp >= opts.NoiseFloorNs
+		if d.Gated && d.Ratio > 1+opts.Threshold && d.MinRatio > 1+opts.Threshold/2 {
+			d.Regressed = true
+			cmp.failures = append(cmp.failures, fmt.Sprintf(
+				"workload %s regressed: normalized median %.2fx baseline (threshold %.2fx), min %.2fx",
+				base.Name, d.Ratio, 1+opts.Threshold, d.MinRatio))
+		}
+
+		if !cmp.SeedsDiffer && base.Scale == cur.Scale {
+			d.CounterDrift = diffCounters(base.Counters, cur.Counters)
+			if len(d.CounterDrift) > 0 && opts.StrictCounters {
+				cmp.failures = append(cmp.failures, fmt.Sprintf(
+					"workload %s deterministic counters drifted: %s",
+					base.Name, strings.Join(d.CounterDrift, "; ")))
+			}
+		}
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	for _, cur := range current.Workloads {
+		if !seen[cur.Name] {
+			cmp.NewWorkloads = append(cmp.NewWorkloads, cur.Name)
+		}
+	}
+	return cmp, nil
+}
+
+// diffCounters lists keys whose values differ between two deterministic
+// counter maps, in sorted order. Keys present on only one side count as
+// drift (a counter disappearing is as suspicious as one changing).
+func diffCounters(base, cur map[string]int64) []string {
+	if base == nil && cur == nil {
+		return nil
+	}
+	keys := make(map[string]bool, len(base)+len(cur))
+	for k := range base {
+		keys[k] = true
+	}
+	for k := range cur {
+		keys[k] = true
+	}
+	var out []string
+	for k := range keys {
+		bv, bok := base[k]
+		cv, cok := cur[k]
+		switch {
+		case !bok:
+			out = append(out, fmt.Sprintf("%s: (absent) -> %d", k, cv))
+		case !cok:
+			out = append(out, fmt.Sprintf("%s: %d -> (absent)", k, bv))
+		case bv != cv:
+			out = append(out, fmt.Sprintf("%s: %d -> %d", k, bv, cv))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render formats the comparison as an aligned text report for terminals
+// and CI logs.
+func (c *Comparison) Render() string {
+	var b strings.Builder
+	if c.CalibrationScale > 0 {
+		fmt.Fprintf(&b, "calibration: current machine is %.2fx baseline speed (timings normalized)\n",
+			c.CalibrationScale)
+	} else {
+		b.WriteString("calibration: unavailable — comparing raw timings\n")
+	}
+	fmt.Fprintf(&b, "%-34s %14s %14s %8s  %s\n", "workload", "baseline", "current", "ratio", "verdict")
+	for _, d := range c.Deltas {
+		verdict := "ok"
+		switch {
+		case d.Regressed:
+			verdict = "REGRESSED"
+		case !d.Gated:
+			verdict = "info-only"
+		}
+		if len(d.CounterDrift) > 0 {
+			verdict += " (counter drift)"
+		}
+		fmt.Fprintf(&b, "%-34s %14s %14s %7.2fx  %s\n",
+			d.Name, fmtNs(d.BaselineNs), fmtNs(d.CurrentNs), d.Ratio, verdict)
+		for _, drift := range d.CounterDrift {
+			fmt.Fprintf(&b, "    counter %s\n", drift)
+		}
+	}
+	for _, name := range c.NewWorkloads {
+		fmt.Fprintf(&b, "%-34s (new workload, no baseline)\n", name)
+	}
+	if c.SeedsDiffer {
+		b.WriteString("note: seeds differ; deterministic counters not compared\n")
+	}
+	for _, f := range c.failures {
+		fmt.Fprintf(&b, "FAIL: %s\n", f)
+	}
+	return b.String()
+}

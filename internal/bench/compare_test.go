@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// report builds a two-workload report (calibration + one gated workload)
+// with the given medians, the shape most compare tests need.
+func report(calNs, workNs float64) *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Profile:       string(Quick),
+		Seed:          1,
+		Workloads: []WorkloadResult{
+			{Name: CalibrationName, Scale: 4096, MedianNsPerOp: calNs, MinNsPerOp: calNs * 0.95, Samples: 5},
+			{Name: "pipeline/stream-maxw", Scale: 1200, MedianNsPerOp: workNs, MinNsPerOp: workNs * 0.95, Samples: 5,
+				Counters: map[string]int64{"emulations": 100, "cache_hits": 900}},
+		},
+	}
+}
+
+// TestCompareThresholdMath pins the basic gate arithmetic on an
+// equal-speed machine (identical calibration): below threshold passes, a
+// 2x slowdown fails, and the failure names the workload.
+func TestCompareThresholdMath(t *testing.T) {
+	base := report(1000, 1_000_000)
+
+	for _, tc := range []struct {
+		name   string
+		curNs  float64
+		wantOK bool
+	}{
+		{"identical", 1_000_000, true},
+		{"within threshold (+25%)", 1_250_000, true},
+		{"just over threshold (+35%)", 1_350_000, false},
+		{"synthetic 2x slowdown", 2_000_000, false},
+		{"faster", 500_000, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := report(1000, tc.curNs)
+			cmp, err := Compare(base, cur, CompareOptions{Threshold: 0.30})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cmp.OK() != tc.wantOK {
+				t.Fatalf("OK() = %v, want %v; failures: %v", cmp.OK(), tc.wantOK, cmp.Failures())
+			}
+			if !tc.wantOK && !strings.Contains(strings.Join(cmp.Failures(), "\n"), "pipeline/stream-maxw") {
+				t.Errorf("failure does not name the regressed workload: %v", cmp.Failures())
+			}
+		})
+	}
+}
+
+// TestCompareCalibrationNormalization: a uniformly slower machine (every
+// timing including calibration 3x) is NOT a regression — the whole point
+// of the calibration workload — while a genuine 2x regression still fails
+// even when measured on a 2x *faster* machine (raw timings equal).
+func TestCompareCalibrationNormalization(t *testing.T) {
+	base := report(1000, 1_000_000)
+
+	slowMachine := report(3000, 3_000_000)
+	cmp, err := Compare(base, slowMachine, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OK() {
+		t.Fatalf("uniformly slow machine flagged as regression: %v", cmp.Failures())
+	}
+	if cmp.CalibrationScale <= 0 {
+		t.Fatalf("calibration scale not computed")
+	}
+
+	// Machine is 2x faster (calibration 500 vs 1000) but the workload took
+	// the same wall time — i.e. the code got 2x slower in machine-relative
+	// terms.
+	fastButRegressed := report(500, 1_000_000)
+	cmp, err = Compare(base, fastButRegressed, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.OK() {
+		t.Fatalf("2x machine-relative regression hidden by a fast machine")
+	}
+}
+
+// TestCompareNoiseTolerance: a median spike whose minimum stayed at
+// baseline speed is scheduler noise, not a regression — the min
+// cross-check must hold the gate. A real regression moves both.
+func TestCompareNoiseTolerance(t *testing.T) {
+	base := report(1000, 1_000_000)
+
+	noisy := report(1000, 2_000_000)
+	// The fastest sample still ran at baseline speed: classic interference.
+	noisy.Workloads[1].MinNsPerOp = 1_000_000
+	cmp, err := Compare(base, noisy, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OK() {
+		t.Fatalf("noise spike (fast min, slow median) failed the gate: %v", cmp.Failures())
+	}
+
+	sustained := report(1000, 2_000_000) // min tracks median via report()
+	cmp, err = Compare(base, sustained, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.OK() {
+		t.Fatalf("sustained 2x slowdown passed the gate")
+	}
+}
+
+// TestCompareNoiseFloor: workloads with sub-floor baseline medians are
+// reported but never gated, regardless of ratio.
+func TestCompareNoiseFloor(t *testing.T) {
+	base := report(1000, 1_000_000)
+	base.Workloads[1].MedianNsPerOp = 5_000 // 5µs, below the 20µs default floor
+	cur := report(1000, 1_000_000)
+	cur.Workloads[1].MedianNsPerOp = 50_000 // 10x "regression"
+	cur.Workloads[1].MinNsPerOp = 48_000
+
+	cmp, err := Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OK() {
+		t.Fatalf("sub-noise-floor workload was gated: %v", cmp.Failures())
+	}
+	for _, d := range cmp.Deltas {
+		if d.Name == "pipeline/stream-maxw" && d.Gated {
+			t.Errorf("workload below the noise floor marked as gated")
+		}
+	}
+}
+
+// TestCompareMissingBaseline: nil baseline and a missing file both surface
+// ErrMissingBaseline-shaped errors the CLI can branch on.
+func TestCompareMissingBaseline(t *testing.T) {
+	if _, err := Compare(nil, report(1000, 1000), CompareOptions{}); !errors.Is(err, ErrMissingBaseline) {
+		t.Fatalf("nil baseline: err = %v, want ErrMissingBaseline", err)
+	}
+	if _, err := LoadReport(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatalf("loading a nonexistent baseline succeeded")
+	}
+}
+
+// TestCompareSchemaMismatch: differing schema versions refuse to compare.
+func TestCompareSchemaMismatch(t *testing.T) {
+	base := report(1000, 1_000_000)
+	base.SchemaVersion = SchemaVersion + 1
+	_, err := Compare(base, report(1000, 1_000_000), CompareOptions{})
+	if !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("err = %v, want ErrSchemaMismatch", err)
+	}
+}
+
+// TestCompareProfileMismatch: a quick run cannot gate against a full
+// baseline — scales differ, so ratios would be meaningless.
+func TestCompareProfileMismatch(t *testing.T) {
+	base := report(1000, 1_000_000)
+	cur := report(1000, 1_000_000)
+	cur.Profile = string(Full)
+	if _, err := Compare(base, cur, CompareOptions{}); err == nil {
+		t.Fatalf("profile mismatch compared without error")
+	}
+}
+
+// TestCompareMissingWorkload: a workload dropped from the current run is a
+// gate failure (deleting a slow workload must not green the gate), while a
+// brand-new workload is informational.
+func TestCompareMissingWorkload(t *testing.T) {
+	base := report(1000, 1_000_000)
+	cur := report(1000, 1_000_000)
+	cur.Workloads = cur.Workloads[:1] // drop the pipeline workload
+	cur.Workloads = append(cur.Workloads, WorkloadResult{Name: "evm/new-thing", MedianNsPerOp: 10})
+
+	cmp, err := Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.OK() {
+		t.Fatalf("dropped workload passed the gate")
+	}
+	if len(cmp.MissingWorkloads) != 1 || cmp.MissingWorkloads[0] != "pipeline/stream-maxw" {
+		t.Errorf("MissingWorkloads = %v", cmp.MissingWorkloads)
+	}
+	if len(cmp.NewWorkloads) != 1 || cmp.NewWorkloads[0] != "evm/new-thing" {
+		t.Errorf("NewWorkloads = %v", cmp.NewWorkloads)
+	}
+}
+
+// TestCompareCounterDrift: with equal seeds, counter changes are reported
+// always and fail the gate only under StrictCounters; with differing
+// seeds, counters are not compared at all.
+func TestCompareCounterDrift(t *testing.T) {
+	base := report(1000, 1_000_000)
+	cur := report(1000, 1_000_000)
+	cur.Workloads[1].Counters = map[string]int64{"emulations": 500, "cache_hits": 500}
+
+	cmp, err := Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OK() {
+		t.Fatalf("counter drift failed the default gate: %v", cmp.Failures())
+	}
+	var drift []string
+	for _, d := range cmp.Deltas {
+		drift = append(drift, d.CounterDrift...)
+	}
+	if len(drift) != 2 {
+		t.Fatalf("drift = %v, want cache_hits and emulations entries", drift)
+	}
+	if !strings.Contains(strings.Join(drift, " "), "cache_hits: 900 -> 500") {
+		t.Errorf("drift lines lack values: %v", drift)
+	}
+
+	cmp, err = Compare(base, cur, CompareOptions{StrictCounters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.OK() {
+		t.Fatalf("StrictCounters did not fail on drift")
+	}
+
+	cur.Seed = 99
+	cmp, err = Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.SeedsDiffer {
+		t.Errorf("SeedsDiffer not flagged")
+	}
+	for _, d := range cmp.Deltas {
+		if len(d.CounterDrift) > 0 {
+			t.Errorf("counters compared across different seeds: %v", d.CounterDrift)
+		}
+	}
+}
+
+// TestDiffCounters covers the one-sided cases directly.
+func TestDiffCounters(t *testing.T) {
+	got := diffCounters(
+		map[string]int64{"a": 1, "b": 2, "gone": 3},
+		map[string]int64{"a": 1, "b": 5, "new": 7},
+	)
+	want := []string{"b: 2 -> 5", "gone: 3 -> (absent)", "new: (absent) -> 7"}
+	if len(got) != len(want) {
+		t.Fatalf("diff = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diff[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMergeBest: best median wins per workload, global min is kept, and
+// counter disagreement between repeats (nondeterminism) errors out.
+func TestMergeBest(t *testing.T) {
+	a := report(1000, 1_000_000)
+	b := report(1100, 900_000)
+	b.Workloads[1].MinNsPerOp = 700_000
+
+	merged, err := MergeBest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr := merged.Workload("pipeline/stream-maxw")
+	if wr.MedianNsPerOp != 900_000 {
+		t.Errorf("merged median = %v, want best of repeats 900000", wr.MedianNsPerOp)
+	}
+	if wr.MinNsPerOp != 700_000 {
+		t.Errorf("merged min = %v, want global min 700000", wr.MinNsPerOp)
+	}
+
+	c := report(1000, 800_000)
+	c.Workloads[1].Counters["emulations"] = 101 // deterministic counter changed between repeats
+	if _, err := MergeBest(a, c); err == nil {
+		t.Fatalf("MergeBest swallowed counter nondeterminism between repeats")
+	}
+}
+
+// TestCompareRender smoke-checks the human-readable output.
+func TestCompareRender(t *testing.T) {
+	cmp, err := Compare(report(1000, 1_000_000), report(1000, 2_500_000), CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := cmp.Render()
+	for _, want := range []string{"pipeline/stream-maxw", "REGRESSED", "calibration"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() lacks %q:\n%s", want, out)
+		}
+	}
+}

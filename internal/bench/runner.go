@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Options configures one suite run.
+type Options struct {
+	// Profile selects scales and sampling depth; default Quick.
+	Profile Profile
+	// Seed drives every workload's corpus generation; the deterministic
+	// counters in the resulting report are a pure function of (code, seed,
+	// profile scales).
+	Seed int64
+	// Samples overrides the profile's per-workload sample count (0 keeps
+	// the default: 5 quick, 15 full).
+	Samples int
+	// Warmup overrides the profile's warmup batches (0 keeps the default:
+	// 1 quick, 2 full).
+	Warmup int
+	// Progress, when non-nil, receives one line per workload as it
+	// completes — the CLI points it at stderr.
+	Progress io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Profile == "" {
+		o.Profile = Quick
+	}
+	if o.Samples == 0 {
+		if o.Profile == Full {
+			o.Samples = 15
+		} else {
+			o.Samples = 5
+		}
+	}
+	if o.Warmup == 0 {
+		if o.Profile == Full {
+			o.Warmup = 2
+		} else {
+			o.Warmup = 1
+		}
+	}
+	return o
+}
+
+// Run executes the profile's full workload suite and assembles the report.
+// CreatedAt is left empty; the caller stamps it (the runner itself touches
+// the clock only to measure durations, keeping reports reproducible).
+func Run(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	return RunSuite(Suite(opts.Profile), opts)
+}
+
+// RunSuite measures an explicit workload list under the given options.
+func RunSuite(ws []Workload, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		Profile:       string(opts.Profile),
+		Seed:          opts.Seed,
+		Host:          hostInfo(),
+	}
+	for _, w := range ws {
+		res, err := measure(w, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Workloads = append(rep.Workloads, res)
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "  %-32s median %12s  p95 %12s  (%d samples x %d ops)\n",
+				w.Name, fmtNs(res.MedianNsPerOp), fmtNs(res.P95NsPerOp), res.Samples, res.Batch)
+		}
+	}
+	return rep, nil
+}
+
+// measure runs one workload: setup (untimed), warmup batches, then
+// Samples timed batches with allocation accounting.
+func measure(w Workload, opts Options) (WorkloadResult, error) {
+	if w.Batch < 1 {
+		w.Batch = 1
+	}
+	inst := w.Setup(opts.Seed, w.Scale)
+	if inst.Op == nil {
+		return WorkloadResult{}, fmt.Errorf("bench: workload %s produced no op", w.Name)
+	}
+
+	for i := 0; i < opts.Warmup*w.Batch; i++ {
+		inst.Op()
+	}
+
+	samples := make([]float64, opts.Samples)
+	var mallocs, bytes uint64
+	var m0, m1 runtime.MemStats
+	for s := range samples {
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		for i := 0; i < w.Batch; i++ {
+			inst.Op()
+		}
+		d := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		samples[s] = float64(d.Nanoseconds()) / float64(w.Batch)
+		mallocs += m1.Mallocs - m0.Mallocs
+		bytes += m1.TotalAlloc - m0.TotalAlloc
+	}
+	sort.Float64s(samples)
+
+	ops := float64(opts.Samples * w.Batch)
+	res := WorkloadResult{
+		Name:          w.Name,
+		Scale:         w.Scale,
+		Batch:         w.Batch,
+		Samples:       opts.Samples,
+		MedianNsPerOp: percentile(samples, 0.50),
+		P95NsPerOp:    percentile(samples, 0.95),
+		MinNsPerOp:    samples[0],
+		AllocsPerOp:   float64(mallocs) / ops,
+		BytesPerOp:    float64(bytes) / ops,
+	}
+	if res.MedianNsPerOp > 0 {
+		res.OpsPerSec = 1e9 / res.MedianNsPerOp
+	}
+	if inst.Counters != nil {
+		res.Counters = inst.Counters()
+	}
+	return res, nil
+}
+
+// percentile reads a quantile from an ascending sample slice using the
+// nearest-rank method (the conventional choice for small benchmark sample
+// counts: no interpolation, every reported value was actually observed).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// MergeBest folds repeated runs of the same suite into one report, keeping
+// for every workload the run with the lowest median (the standard
+// noise-reduction move: interference only ever makes code look slower) and
+// the minimum min across all repeats. Counters must agree across repeats —
+// they are deterministic — and a disagreement is returned as an error
+// rather than papered over.
+func MergeBest(runs ...*Report) (*Report, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("bench: MergeBest of zero runs")
+	}
+	base := *runs[0]
+	base.Workloads = append([]WorkloadResult(nil), runs[0].Workloads...)
+	for _, r := range runs[1:] {
+		if r.Profile != base.Profile || r.Seed != base.Seed {
+			return nil, fmt.Errorf("bench: MergeBest across different suites (%s/seed %d vs %s/seed %d)",
+				base.Profile, base.Seed, r.Profile, r.Seed)
+		}
+		for _, wr := range r.Workloads {
+			cur := findResult(base.Workloads, wr.Name)
+			if cur == nil {
+				base.Workloads = append(base.Workloads, wr)
+				continue
+			}
+			if diffs := diffCounters(cur.Counters, wr.Counters); len(diffs) > 0 {
+				return nil, fmt.Errorf("bench: workload %s counters changed between repeats (%s): nondeterminism bug",
+					wr.Name, diffs[0])
+			}
+			if wr.MinNsPerOp < cur.MinNsPerOp {
+				cur.MinNsPerOp = wr.MinNsPerOp
+			}
+			if wr.MedianNsPerOp < cur.MedianNsPerOp {
+				min := cur.MinNsPerOp
+				*cur = wr
+				cur.MinNsPerOp = min
+			}
+		}
+	}
+	return &base, nil
+}
+
+func findResult(ws []WorkloadResult, name string) *WorkloadResult {
+	for i := range ws {
+		if ws[i].Name == name {
+			return &ws[i]
+		}
+	}
+	return nil
+}
+
+// fmtNs renders nanoseconds human-readably.
+func fmtNs(ns float64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

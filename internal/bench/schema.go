@@ -1,0 +1,133 @@
+// Package bench is the deterministic performance-tracking subsystem: a
+// fixed catalogue of seeded workloads over the repository's own generators
+// (detector throughput on a mixed proxy corpus, the streaming pipeline at
+// several worker counts, the cache-on/cache-off ablation, storage-collision
+// slicing, raw EVM interpretation), a runner that measures each with warmup
+// and repeated samples, a versioned JSON report schema, and a noise-aware
+// comparator that gates regressions against a checked-in baseline.
+//
+// The design splits every measurement into two halves with different
+// contracts:
+//
+//   - Timings (median/p95/min ns per op, allocations) are hardware- and
+//     load-dependent. They are compared with generous relative thresholds
+//     after normalizing by a pure-CPU calibration workload included in every
+//     run, which cancels most machine-speed differences between the machine
+//     that produced the baseline and the machine running the gate.
+//   - Counters (contracts scanned, emulations, cache hits, pairs analyzed,
+//     collisions found, EVM steps) are *deterministic*: for a fixed seed and
+//     scale two runs must produce identical values, on any machine. Counter
+//     drift against the baseline therefore means the analyzed behavior
+//     changed — e.g. a PR silently lost dedup-cache hits — and is reported
+//     even when the timings still pass.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// SchemaVersion identifies the report layout. Compare refuses to diff
+// reports with mismatched versions; bump it on any incompatible change to
+// Report or WorkloadResult.
+const SchemaVersion = 1
+
+// Report is one full suite run, the unit written to BENCH_*.json files and
+// compared against bench/baseline.json.
+type Report struct {
+	SchemaVersion int `json:"schema_version"`
+
+	// Profile is the suite profile that produced the run ("quick"/"full").
+	Profile string `json:"profile"`
+	// Seed drove every workload's corpus generation.
+	Seed int64 `json:"seed"`
+
+	// CreatedAt is stamped by the CLI at write time (RFC 3339, UTC). The
+	// runner itself never reads the clock for anything but durations, so
+	// reports stay reproducible modulo this one field.
+	CreatedAt string `json:"created_at,omitempty"`
+
+	// Host describes the measuring machine, for humans reading trajectories.
+	Host Host `json:"host"`
+
+	Workloads []WorkloadResult `json:"workloads"`
+}
+
+// Host records the environment a report was measured on.
+type Host struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// WorkloadResult is the measurement of one workload within a run.
+type WorkloadResult struct {
+	Name  string `json:"name"`
+	Scale int    `json:"scale"`
+	// Batch is how many ops each timing sample aggregated.
+	Batch int `json:"batch"`
+	// Samples is the number of timing samples taken after warmup.
+	Samples int `json:"samples"`
+
+	// MedianNsPerOp/P95NsPerOp/MinNsPerOp summarize the per-op nanosecond
+	// samples. The comparator keys off the median (with the min as a noise
+	// cross-check); p95 is recorded for trajectory plots.
+	MedianNsPerOp float64 `json:"median_ns_per_op"`
+	P95NsPerOp    float64 `json:"p95_ns_per_op"`
+	MinNsPerOp    float64 `json:"min_ns_per_op"`
+
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+
+	// Counters are the workload's deterministic outputs: identical for equal
+	// (seed, scale) on every machine. See the package comment.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Workload returns the named result, or nil.
+func (r *Report) Workload(name string) *WorkloadResult {
+	for i := range r.Workloads {
+		if r.Workloads[i].Name == name {
+			return &r.Workloads[i]
+		}
+	}
+	return nil
+}
+
+// Filename renders the canonical BENCH_<timestamp>.json name for a run.
+func Filename(t time.Time) string {
+	return "BENCH_" + t.UTC().Format("20060102T150405Z") + ".json"
+}
+
+// WriteFile writes the report as indented JSON with a trailing newline.
+func (r *Report) WriteFile(path string) error {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encode report: %w", err)
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// LoadReport reads and validates a report file. A file whose schema version
+// differs from SchemaVersion still loads (Compare produces the dedicated
+// mismatch error), but a file with no version at all is rejected as not a
+// benchmark report.
+func LoadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if r.SchemaVersion == 0 {
+		return nil, fmt.Errorf("bench: %s is not a benchmark report (no schema_version)", path)
+	}
+	return &r, nil
+}

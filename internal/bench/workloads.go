@@ -1,0 +1,333 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/asm"
+	"repro/internal/chain"
+	"repro/internal/dataset"
+	"repro/internal/etypes"
+	"repro/internal/evm"
+	"repro/internal/gen"
+	"repro/internal/keccak"
+	"repro/internal/proxion"
+	"repro/internal/u256"
+)
+
+// Profile selects the suite's scale/sample trade-off.
+type Profile string
+
+const (
+	// Quick is the PR-gate profile: small corpora, few samples, finishes in
+	// well under a minute on a laptop or CI runner.
+	Quick Profile = "quick"
+	// Full is the nightly profile: the bench_test.go-scale corpora with
+	// enough samples for stable percentiles.
+	Full Profile = "full"
+)
+
+// CalibrationName is the pure-CPU reference workload every run includes;
+// the comparator divides all other timings by its median to cancel
+// machine-speed differences between baseline and gate machines.
+const CalibrationName = "calibration/keccak256"
+
+// Instance is one set-up workload, ready to measure.
+type Instance struct {
+	// Op runs the workload once. Every call must redo the full measured
+	// work (e.g. a fresh detector per call, so no verdict cache survives
+	// between ops).
+	Op func()
+	// Counters reports the deterministic outputs of the most recent Op
+	// call: equal (seed, scale) must yield equal maps on any machine and
+	// any scheduling. Nil when the workload has no counters.
+	Counters func() map[string]int64
+}
+
+// Workload is one named, seeded, fixed-scale measurement.
+type Workload struct {
+	Name string
+	// Desc is a one-line description for -list output and reports.
+	Desc string
+	// Scale is the workload's input-size knob (contracts, loop iterations).
+	Scale int
+	// Batch is how many ops each timing sample aggregates; >1 smooths
+	// microsecond-scale workloads.
+	Batch int
+	// Setup builds the instance: generates corpora, compiles bytecode,
+	// allocates state. Setup time is never measured.
+	Setup func(seed int64, scale int) Instance
+}
+
+// Suite returns the workload catalogue for a profile. Workload names are
+// stable across profiles (only scales differ) so quick runs gate against a
+// quick baseline and full runs against a full one.
+func Suite(p Profile) []Workload {
+	type dims struct{ pipeline, corpus, evmLoop int }
+	d := dims{pipeline: 1200, corpus: 48, evmLoop: 8_000}
+	if p == Full {
+		d = dims{pipeline: 4000, corpus: 96, evmLoop: 50_000}
+	}
+	return []Workload{
+		{
+			Name:  CalibrationName,
+			Desc:  "pure-CPU reference: Keccak-256 over a fixed 4 KiB buffer",
+			Scale: 4096,
+			Batch: 256,
+			Setup: setupCalibration,
+		},
+		{
+			Name:  "detector/check-mixed",
+			Desc:  "single-contract detection (Section 4) over the labeled mixed proxy corpus",
+			Scale: d.corpus,
+			Batch: 1,
+			Setup: setupDetectorCheck,
+		},
+		{
+			Name:  "pipeline/stream-1w",
+			Desc:  "end-to-end streaming pipeline, every stage at 1 worker",
+			Scale: d.pipeline,
+			Batch: 1,
+			Setup: setupPipeline(workerPlan{filter: 1, probe: 1, classify: 1, pair: 1}),
+		},
+		{
+			Name:  "pipeline/stream-2w",
+			Desc:  "end-to-end streaming pipeline, every stage at 2 workers",
+			Scale: d.pipeline,
+			Batch: 1,
+			Setup: setupPipeline(workerPlan{filter: 2, probe: 2, classify: 2, pair: 2}),
+		},
+		{
+			Name:  "pipeline/stream-maxw",
+			Desc:  "end-to-end streaming pipeline at the production GOMAXPROCS-derived pools",
+			Scale: d.pipeline,
+			Batch: 1,
+			Setup: setupPipeline(workerPlan{}),
+		},
+		{
+			Name:  "pipeline/stream-maxw-nocache",
+			Desc:  "same pipeline with the bytecode-dedup verdict cache disabled (ablation)",
+			Scale: d.pipeline,
+			Batch: 1,
+			Setup: setupPipeline(workerPlan{disableDedup: true}),
+		},
+		{
+			Name:  "collision/storage-slicing",
+			Desc:  "storage-access extraction + collision slicing (Section 5) over every generated pair",
+			Scale: d.corpus,
+			Batch: 1,
+			Setup: setupStorageSlicing,
+		},
+		{
+			Name:  "evm/interp-loop",
+			Desc:  "raw EVM interpretation of an arithmetic/MSTORE loop (ops/sec floor)",
+			Scale: d.evmLoop,
+			Batch: 4,
+			Setup: setupEVMLoop,
+		},
+	}
+}
+
+// FindWorkload returns the named workload from a profile's suite.
+func FindWorkload(p Profile, name string) (Workload, bool) {
+	for _, w := range Suite(p) {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// setupCalibration hashes a seed-filled fixed-size buffer. No corpus, no
+// allocation in the op: the timing is (nearly) pure CPU, which is what the
+// comparator's machine-speed normalization needs.
+func setupCalibration(seed int64, scale int) Instance {
+	buf := make([]byte, scale)
+	for i := range buf {
+		buf[i] = byte(int64(i) * (seed + 1))
+	}
+	var sink byte
+	return Instance{
+		Op: func() {
+			sum := keccak.Sum256(buf)
+			sink ^= sum[0]
+		},
+		Counters: func() map[string]int64 {
+			return map[string]int64{"bytes_hashed": int64(len(buf))}
+		},
+	}
+}
+
+// setupDetectorCheck runs Detector.Check over every contract of a gen
+// corpus — the paper's per-contract detection latency (Section 6.1), on a
+// mix of every proxy shape plus the adversarial negatives. A fresh
+// detector per op keeps each call on the cold, full-emulation path.
+func setupDetectorCheck(seed int64, scale int) Instance {
+	c := gen.Generate(gen.Config{Seed: seed, Contracts: scale})
+	var last map[string]int64
+	return Instance{
+		Op: func() {
+			det := proxion.NewDetector(c.Chain)
+			var proxies, checked int64
+			for _, l := range c.Labels {
+				if det.Check(l.Address).IsProxy {
+					proxies++
+				}
+				checked++
+			}
+			last = map[string]int64{
+				"contracts_checked": checked,
+				"proxies_detected":  proxies,
+			}
+		},
+		Counters: func() map[string]int64 { return last },
+	}
+}
+
+// workerPlan pins the streaming engine's stage pools for one workload.
+type workerPlan struct {
+	filter, probe, classify, pair int
+	disableDedup                  bool
+}
+
+// setupPipeline runs the whole-landscape streaming analysis
+// (AnalyzeAllWithOptions) over a dataset landscape — the clone-heavy
+// population whose duplicate skew the dedup cache feeds on. Counters come
+// from the pipeline's deterministic snapshot export.
+func setupPipeline(plan workerPlan) func(seed int64, scale int) Instance {
+	return func(seed int64, scale int) Instance {
+		pop := dataset.Generate(dataset.Config{Seed: seed, Contracts: scale})
+		opts := proxion.AnalyzeOptions{
+			FilterWorkers:   plan.filter,
+			ProbeWorkers:    plan.probe,
+			ClassifyWorkers: plan.classify,
+			PairWorkers:     plan.pair,
+			DisableDedup:    plan.disableDedup,
+		}
+		var last map[string]int64
+		return Instance{
+			Op: func() {
+				det := proxion.NewDetector(pop.Chain)
+				res := det.AnalyzeAllWithOptions(pop.Registry, opts)
+				last = res.Stats.Counters()
+			},
+			Counters: func() map[string]int64 { return last },
+		}
+	}
+}
+
+// setupStorageSlicing extracts storage accesses and slices collisions for
+// every proxy/logic pair of a gen corpus — the Section 5 analysis isolated
+// from detection.
+func setupStorageSlicing(seed int64, scale int) Instance {
+	c := gen.Generate(gen.Config{Seed: seed, Contracts: scale})
+	type pair struct{ proxy, logic []byte }
+	var pairs []pair
+	for _, l := range c.Labels {
+		if !l.IsProxy || l.Logic.IsZero() {
+			continue
+		}
+		logic, ok := c.ByAddr[l.Logic]
+		if !ok || len(logic.Code) == 0 {
+			continue
+		}
+		pairs = append(pairs, pair{proxy: l.Code, logic: logic.Code})
+	}
+	var last map[string]int64
+	return Instance{
+		Op: func() {
+			var collisions int64
+			for _, p := range pairs {
+				pAcc := proxion.ExtractStorageAccesses(p.proxy)
+				lAcc := proxion.ExtractStorageAccesses(p.logic)
+				collisions += int64(len(proxion.StorageCollisions(pAcc, lAcc)))
+			}
+			last = map[string]int64{
+				"pairs_sliced":       int64(len(pairs)),
+				"storage_collisions": collisions,
+			}
+		},
+		Counters: func() map[string]int64 { return last },
+	}
+}
+
+// setupEVMLoop interprets a tight countdown loop (10 opcodes per
+// iteration: arithmetic, MSTORE, conditional jump) — a floor on raw
+// interpreter speed that isolates the EVM from detection logic. The step
+// count is derived from the loop structure, so it is deterministic by
+// construction; a tracer is deliberately not installed, keeping the timing
+// free of per-step callback overhead.
+func setupEVMLoop(seed int64, scale int) Instance {
+	p := &asm.Program{}
+	p.PushUint(uint64(scale)) //                 [n]
+	p.Label("loop")           // JUMPDEST        [n]
+	p.Op(evm.DUP1)            //                 [n, n]
+	p.PushUint(0)             //                 [n, n, 0]
+	p.Op(evm.MSTORE)          // mem[0] = n      [n]
+	p.PushUint(1)             //                 [n, 1]
+	p.Op(evm.SWAP1)           //                 [1, n]
+	p.Op(evm.SUB)             //                 [n-1]
+	p.Op(evm.DUP1)            //                 [n-1, n-1]
+	p.JumpI("loop")           // PUSH2+JUMPI     [n-1]
+	p.Op(evm.STOP)
+	code := p.MustAssemble()
+
+	st := chain.New()
+	st.AdvanceTo(1)
+	var addr etypes.Address
+	addr[19] = 0xeb
+	st.InstallContract(addr, code)
+	var caller etypes.Address
+	caller[19] = 0xca
+
+	// 1 PUSH prologue, then per iteration: JUMPDEST, DUP1, PUSH1, MSTORE,
+	// PUSH1, SWAP1, SUB, DUP1, PUSH2, JUMPI; the last iteration falls
+	// through to STOP.
+	steps := int64(1 + 10*scale + 1)
+	var lastErr error
+	return Instance{
+		Op: func() {
+			e := evm.New(st, evm.Config{
+				Block:     evm.DefaultBlockContext(),
+				Tx:        evm.TxContext{Origin: caller},
+				Lenient:   true,
+				StepLimit: uint64(steps) + 16,
+			})
+			res := e.Call(caller, addr, nil, 1<<30, u256.Zero())
+			lastErr = res.Err
+		},
+		Counters: func() map[string]int64 {
+			if lastErr != nil {
+				// Surface a broken loop as an impossible counter value
+				// rather than silently benchmarking an early abort.
+				return map[string]int64{"evm_steps": -1}
+			}
+			return map[string]int64{
+				"evm_steps":       steps,
+				"loop_iterations": int64(scale),
+			}
+		},
+	}
+}
+
+// hostInfo captures the measuring environment.
+func hostInfo() Host {
+	return Host{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// ValidProfile normalizes a profile string.
+func ValidProfile(s string) (Profile, error) {
+	switch Profile(s) {
+	case Quick:
+		return Quick, nil
+	case Full:
+		return Full, nil
+	}
+	return "", fmt.Errorf("bench: unknown profile %q (want %q or %q)", s, Quick, Full)
+}

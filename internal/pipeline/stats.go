@@ -75,6 +75,35 @@ type Snapshot struct {
 	Stages []StageSnapshot `json:"stages"`
 }
 
+// Counters exports the snapshot's deterministic run counters keyed by
+// their JSON field names. "Deterministic" means: for a fixed input chain
+// the values depend only on the analyzed contracts, never on scheduling,
+// worker counts, or wall-clock — so two runs over the same seeded corpus
+// must produce byte-identical maps. Wall-clock-derived fields (wall_ms,
+// contracts_per_sec, cache_hit_rate, per-stage busy time) are deliberately
+// excluded. Per-stage item counts are exported as stage_<name>_processed.
+//
+// This is the export hook the benchmark subsystem (internal/bench) records
+// into BENCH_*.json reports and its regression gate compares across runs.
+func (s *Snapshot) Counters() map[string]int64 {
+	m := map[string]int64{
+		"contracts":            s.Contracts,
+		"no_code":              s.NoCode,
+		"filter_rejected":      s.FilterRejected,
+		"emulations":           s.Emulations,
+		"cache_hits":           s.CacheHits,
+		"emulation_aborts":     s.EmulationAborts,
+		"proxies_detected":     s.ProxiesDetected,
+		"pairs_analyzed":       s.PairsAnalyzed,
+		"histories_recovered":  s.HistoriesRecovered,
+		"get_storage_at_calls": s.StorageAPICalls,
+	}
+	for _, st := range s.Stages {
+		m["stage_"+st.Name+"_processed"] = st.Processed
+	}
+	return m
+}
+
 // Snapshot freezes the engine's stage instrumentation together with the
 // run-wide stats into a serializable record. Call it after Wait.
 func (e *Engine) Snapshot(st *Stats) *Snapshot {

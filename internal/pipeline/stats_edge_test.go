@@ -145,6 +145,64 @@ func TestCancellationMidStream(t *testing.T) {
 	}
 }
 
+// TestSnapshotCountersExport pins the deterministic-export hook: Counters must
+// carry every run-wide counter plus a stage_<name>_processed entry per
+// stage, and must exclude every wall-clock-derived field — the map is what
+// the benchmark gate compares byte-for-byte across runs, so nothing
+// scheduling-dependent may leak into it.
+func TestSnapshotCountersExport(t *testing.T) {
+	const n = 40
+	e := pipeline.New()
+	stA := e.NewStage("alpha", 2)
+	stB := e.NewStage("beta", 3)
+	aCh := make(chan item, 4)
+	bCh := make(chan item, 4)
+	var st pipeline.Stats
+
+	e.Go(func() {
+		for i := 0; i < n; i++ {
+			st.Scanned.Add(1)
+			aCh <- item{idx: i}
+		}
+		close(aCh)
+	})
+	pipeline.Run(e, stA, aCh, func(it item) {
+		st.Emulations.Add(1)
+		bCh <- it
+	}, func() { close(bCh) })
+	pipeline.Run(e, stB, bCh, func(item) { st.ProxiesDetected.Add(1) }, nil)
+	e.Wait()
+
+	got := e.Snapshot(&st).Counters()
+	want := map[string]int64{
+		"contracts":             n,
+		"no_code":               0,
+		"filter_rejected":       0,
+		"emulations":            n,
+		"cache_hits":            0,
+		"emulation_aborts":      0,
+		"proxies_detected":      n,
+		"pairs_analyzed":        0,
+		"histories_recovered":   0,
+		"get_storage_at_calls":  0,
+		"stage_alpha_processed": n,
+		"stage_beta_processed":  n,
+	}
+	if len(got) != len(want) {
+		t.Errorf("Counters exported %d keys, want %d: %v", len(got), len(want), got)
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("Counters[%q] = %d, want %d", k, got[k], w)
+		}
+	}
+	for _, banned := range []string{"wall_ms", "contracts_per_sec", "cache_hit_rate"} {
+		if _, ok := got[banned]; ok {
+			t.Errorf("Counters leaked wall-clock-derived key %q", banned)
+		}
+	}
+}
+
 // TestWallFreezesAfterWait: Wall is live while running and frozen once
 // Wait returns, so a snapshot taken later reports the run, not the gap.
 func TestWallFreezesAfterWait(t *testing.T) {

@@ -37,8 +37,11 @@ type AnalyzeOptions struct {
 // The streaming engine's work-item types; idx is the contract's position
 // in the chain's deterministic order, which anchors result ordering.
 type (
-	feedItem     struct{ idx int; addr etypes.Address }
-	probeItem    struct {
+	feedItem struct {
+		idx  int
+		addr etypes.Address
+	}
+	probeItem struct {
 		idx  int
 		addr etypes.Address
 		code []byte

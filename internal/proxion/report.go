@@ -121,4 +121,3 @@ func (r *Result) Proxies() []Report {
 	}
 	return out
 }
-
