@@ -2,12 +2,14 @@
 # push, `make fuzz` is the scheduled deep run, `make bench-gate` is the
 # pull-request performance gate.
 
-.PHONY: build vet test short race bench bench-gate bench-baseline ci fuzz
+.PHONY: build vet test short race bench bench-gate bench-baseline chaos ci fuzz
 
 # Per-target budget for the native fuzz engines in `make fuzz`.
 FUZZTIME ?= 60s
 # Number of generated chains the nightly differential sweep checks.
 ORACLE_SWEEP ?= 500
+# Extra corpus seeds for the nightly chaos sweep (0 = pinned seeds only).
+CHAOS_SWEEP ?= 0
 # Allowed relative median regression for the performance gate (0.30 = +30%).
 BENCH_THRESHOLD ?= 0.30
 
@@ -41,6 +43,13 @@ bench-gate:
 bench-baseline:
 	go run ./cmd/proxbench -quick -repeats 3 -out bench/baseline.json
 
+# Chaos matrix under the race detector: every fault profile x pinned seed
+# through the whole pipeline, plus the fault-parity oracle layers and the
+# resilient-client concurrency tests. CHAOS_SWEEP=N adds N fresh seeds.
+chaos:
+	CHAOS_SWEEP=$(CHAOS_SWEEP) go test -race ./internal/faultchain -count=1 -timeout 30m
+	go test -race ./internal/gen/oracle -run 'Fault|MinimizeFaultSchedule' -count=1 -timeout 30m
+
 ci: build vet race
 
 # Deep verification: the wide differential-oracle sweep over freshly
@@ -49,6 +58,7 @@ ci: build vet race
 fuzz:
 	ORACLE_SWEEP=$(ORACLE_SWEEP) go test ./internal/gen/oracle -run TestOracleSweep -count=1 -timeout 30m
 	go test ./internal/gen/oracle -run '^$$' -fuzz FuzzGeneratorOracle -fuzztime $(FUZZTIME)
+	go test ./internal/gen/oracle -run '^$$' -fuzz FuzzFaultSchedule -fuzztime $(FUZZTIME)
 	go test ./internal/u256 -run '^$$' -fuzz FuzzU256VsBigInt -fuzztime $(FUZZTIME)
 	go test ./internal/evm -run '^$$' -fuzz FuzzExecuteArbitraryBytecode -fuzztime $(FUZZTIME)
 	go test ./internal/evm -run '^$$' -fuzz FuzzProxyProbe -fuzztime $(FUZZTIME)

@@ -6,17 +6,31 @@
 // Usage:
 //
 //	proxion [-contracts N] [-seed S] [-v] [-collisions-only]
+//	        [-resilient] [-faults PROFILE] [-fault-seed S] [-fault-depth D]
+//	        [-retries N] [-rpc-timeout D] [-backoff D] [-inflight N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/chain"
 	"repro/internal/dataset"
+	"repro/internal/faultchain"
 	"repro/internal/proxion"
 )
+
+// profileNames lists the -faults values the CLI accepts.
+func profileNames() string {
+	var names []string
+	for _, p := range faultchain.Profiles() {
+		names = append(names, p.Name)
+	}
+	return strings.Join(append(names, faultchain.Outage().Name), ", ")
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -31,6 +45,14 @@ func run() error {
 	verbose := flag.Bool("v", false, "print every detected proxy")
 	collisionsOnly := flag.Bool("collisions-only", false, "print only pairs with collisions")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable summary instead of text")
+	resilient := flag.Bool("resilient", false, "route node reads through the resilient client even with faults off")
+	faults := flag.String("faults", "off", "fault-injection profile: off, "+profileNames())
+	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed")
+	faultDepth := flag.Int("fault-depth", 0, "override the profile's fault depth (0 keeps the profile default)")
+	retries := flag.Int("retries", 0, "max retries per node read (0 = client default)")
+	rpcTimeout := flag.Duration("rpc-timeout", 0, "per-read timeout (0 = client default)")
+	backoff := flag.Duration("backoff", 0, "base retry backoff (0 = client default)")
+	inflight := flag.Int("inflight", 0, "max concurrent node reads (0 = client default)")
 	flag.Parse()
 
 	// Progress goes to stderr so -json output stays machine-consumable.
@@ -38,7 +60,34 @@ func run() error {
 	pop := dataset.Generate(dataset.Config{Seed: *seed, Contracts: *contracts})
 	fmt.Fprintf(os.Stderr, "chain height %d, %d contracts alive\n", pop.Chain.CurrentBlock(), len(pop.Chain.Contracts()))
 
-	det := proxion.NewDetector(pop.Chain)
+	// Pick the chain view: the raw snapshot, or the resilient client —
+	// optionally over a fault-injecting backend for chaos runs.
+	var reader chain.Reader = pop.Chain
+	if *faults != "off" || *resilient {
+		copts := faultchain.Options{
+			MaxRetries:  *retries,
+			Timeout:     *rpcTimeout,
+			BackoffBase: *backoff,
+			MaxInFlight: *inflight,
+		}
+		var sched *faultchain.Schedule
+		if *faults != "off" {
+			p, ok := faultchain.ProfileByName(*faults)
+			if !ok {
+				return fmt.Errorf("unknown fault profile %q (have: off, %s)", *faults, profileNames())
+			}
+			if *faultDepth > 0 {
+				p.Depth = *faultDepth
+			}
+			s := faultchain.NewSchedule(p, *faultSeed)
+			sched = &s
+			fmt.Fprintf(os.Stderr, "injecting faults: profile %s, seed %d, depth %d\n", p.Name, *faultSeed, p.Depth)
+		}
+		client, _ := faultchain.NewResilientReader(pop.Chain, sched, copts)
+		reader = client
+	}
+
+	det := proxion.NewDetector(reader)
 	res := det.AnalyzeAll(pop.Registry)
 
 	if *jsonOut {
@@ -57,6 +106,10 @@ func run() error {
 			st.ContractsPerSec)
 		fmt.Printf("pipeline: %d emulations, %d cache hits (%.1f%% hit rate), %d aborts, %d getStorageAt calls\n",
 			st.Emulations, st.CacheHits, 100*st.CacheHitRate, st.EmulationAborts, st.StorageAPICalls)
+		if st.Retries != 0 || st.BreakerTrips != 0 || st.Unresolved != 0 {
+			fmt.Printf("resilience: %d read retries, %d breaker trips, %d unresolved contracts\n",
+				st.Retries, st.BreakerTrips, st.Unresolved)
+		}
 		for _, stage := range st.Stages {
 			fmt.Printf("  stage %-16s workers=%-3d processed=%-6d busy=%s\n",
 				stage.Name, stage.Workers, stage.Processed,

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/etypes"
 	"repro/internal/evm"
+	"repro/internal/faultchain"
 	"repro/internal/gen"
 	"repro/internal/keccak"
 	"repro/internal/proxion"
@@ -112,6 +113,13 @@ func Suite(p Profile) []Workload {
 			Setup: setupPipeline(workerPlan{disableDedup: true}),
 		},
 		{
+			Name:  "pipeline/stream-resilient",
+			Desc:  "stream-maxw with every node read through the fault-free resilient client (overhead check)",
+			Scale: d.pipeline,
+			Batch: 1,
+			Setup: setupPipeline(workerPlan{resilient: true}),
+		},
+		{
 			Name:  "collision/storage-slicing",
 			Desc:  "storage-access extraction + collision slicing (Section 5) over every generated pair",
 			Scale: d.corpus,
@@ -188,6 +196,10 @@ func setupDetectorCheck(seed int64, scale int) Instance {
 type workerPlan struct {
 	filter, probe, classify, pair int
 	disableDedup                  bool
+	// resilient routes every node read through the faultchain client (no
+	// fault injector), measuring the resilience layer's fault-free overhead
+	// against the stream-maxw workload.
+	resilient bool
 }
 
 // setupPipeline runs the whole-landscape streaming analysis
@@ -204,10 +216,15 @@ func setupPipeline(plan workerPlan) func(seed int64, scale int) Instance {
 			PairWorkers:     plan.pair,
 			DisableDedup:    plan.disableDedup,
 		}
+		var reader chain.Reader = pop.Chain
+		if plan.resilient {
+			client, _ := faultchain.NewResilientReader(pop.Chain, nil, faultchain.Options{})
+			reader = client
+		}
 		var last map[string]int64
 		return Instance{
 			Op: func() {
-				det := proxion.NewDetector(pop.Chain)
+				det := proxion.NewDetector(reader)
 				res := det.AnalyzeAllWithOptions(pop.Registry, opts)
 				last = res.Stats.Counters()
 			},

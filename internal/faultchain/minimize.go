@@ -1,0 +1,45 @@
+package faultchain
+
+// MinimizeSchedule shrinks a failing fault schedule to the smallest
+// injected-fault prefix that still reproduces the failure, mirroring
+// gen.Minimize for corpora: fails(s) must deterministically rebuild the
+// scenario under schedule s and report whether the failure reproduces.
+//
+// Shrinking binary-searches Schedule.Limit — the cap on distinct faulted
+// reads, counted in first-touch order — so it is meaningful for sequential
+// replays, where first-touch order is deterministic. The returned schedule
+// has the minimal Limit (possibly 0, meaning the failure is fault-
+// independent); ok is false when the original schedule doesn't fail at all.
+func MinimizeSchedule(sched Schedule, fails func(Schedule) bool) (Schedule, bool) {
+	if !fails(sched) {
+		return sched, false
+	}
+
+	// Find a finite failing upper bound: the unlimited schedule fails, so
+	// grow a cap until the failure reproduces under it. maxCap is far above
+	// any fault count a test corpus can activate; if even that cap cannot
+	// reproduce, return the original schedule unshrunk rather than loop.
+	const maxCap = 1 << 21
+	hi := 1
+	for !fails(sched.WithLimit(hi)) {
+		hi *= 2
+		if hi > maxCap {
+			return sched, true
+		}
+	}
+
+	// Smallest failing limit in (lo, hi]: fails(hi) holds, fails(lo) fails.
+	lo := 0
+	if fails(sched.WithLimit(0)) {
+		return sched.WithLimit(0), true
+	}
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if fails(sched.WithLimit(mid)) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return sched.WithLimit(hi), true
+}

@@ -1,0 +1,183 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/chain"
+	"repro/internal/etypes"
+	"repro/internal/faultchain"
+	"repro/internal/gen"
+	"repro/internal/proxion"
+)
+
+// FaultRun is the outcome of one faulted analysis next to its fault-free
+// baseline: the differential verdict plus the resilience activity behind
+// it, so chaos tests can assert both "results survived" and "faults
+// actually fired".
+type FaultRun struct {
+	// Mismatches is the differential verdict; empty means the comparison
+	// held.
+	Mismatches []Mismatch
+	// Injected is what the fault injector actually did.
+	Injected faultchain.InjectorStats
+	// Metrics is the resilient client's counter snapshot.
+	Metrics faultchain.Metrics
+	// Result is the faulted run's output.
+	Result *proxion.Result
+}
+
+// analyzeFaulted runs the streaming engine over the corpus through a
+// fault-injecting resilient client.
+func analyzeFaulted(c *gen.Corpus, sched faultchain.Schedule, copts faultchain.Options, opts proxion.AnalyzeOptions) (*proxion.Result, *faultchain.Client, *faultchain.Injector) {
+	client, inj := faultchain.NewResilientReader(c.Chain, &sched, copts)
+	res := proxion.NewDetector(client).AnalyzeAllWithOptions(c.Registry, opts)
+	return res, client, inj
+}
+
+// formatHistory renders a historical analysis for differential comparison.
+func formatHistory(h proxion.HistoricalAnalysis) string {
+	var b strings.Builder
+	for _, pa := range h.Pairs {
+		b.WriteString(" [" + formatPair(pa) + "]")
+	}
+	return b.String()
+}
+
+// diffHistories compares two history sets keyed by proxy address.
+func diffHistories(layer string, a, b []proxion.HistoricalAnalysis) []Mismatch {
+	var out []Mismatch
+	am := make(map[etypes.Address]proxion.HistoricalAnalysis, len(a))
+	for _, h := range a {
+		am[h.Proxy] = h
+	}
+	seen := make(map[etypes.Address]bool, len(b))
+	for _, hb := range b {
+		seen[hb.Proxy] = true
+		ha, ok := am[hb.Proxy]
+		if !ok {
+			out = append(out, Mismatch{Addr: hb.Proxy, Layer: layer, Detail: "history only in second run"})
+			continue
+		}
+		if fa, fb := formatHistory(ha), formatHistory(hb); fa != fb {
+			out = append(out, Mismatch{Addr: hb.Proxy, Layer: layer,
+				Detail: fmt.Sprintf("histories differ:\n    a:%s\n    b:%s", fa, fb)})
+		}
+	}
+	for _, ha := range a {
+		if !seen[ha.Proxy] {
+			out = append(out, Mismatch{Addr: ha.Proxy, Layer: layer, Detail: "history only in first run"})
+		}
+	}
+	return out
+}
+
+// CheckFaultParity is the faults-on/faults-off differential: it runs the
+// streaming engine fault-free and again through a fault-injecting resilient
+// client, and requires byte-identical reports, pairs and histories plus
+// matching logical API-call counts — the guarantee the resilience layer
+// owes whenever the schedule's fault depth stays below the client's retry
+// budget. Any Unresolved contract in that regime is itself a mismatch.
+func CheckFaultParity(c *gen.Corpus, sched faultchain.Schedule, copts faultchain.Options, opts proxion.AnalyzeOptions) FaultRun {
+	base := proxion.NewDetector(c.Chain).AnalyzeAllWithOptions(c.Registry, opts)
+	res, client, inj := analyzeFaulted(c, sched, copts, opts)
+
+	out := diffReports("faults", base.Reports, res.Reports)
+	out = append(out, diffPairs("faults", base.Pairs, res.Pairs)...)
+	out = append(out, diffHistories("faults", base.Histories, res.Histories)...)
+	if a, b := base.Stats.StorageAPICalls, res.Stats.StorageAPICalls; a != b {
+		out = append(out, Mismatch{Layer: "faults",
+			Detail: fmt.Sprintf("logical getStorageAt counts diverge under retries: fault-free %d vs faulted %d", a, b)})
+	}
+	if n := res.Stats.Unresolved; n != 0 {
+		out = append(out, Mismatch{Layer: "faults",
+			Detail: fmt.Sprintf("%d contract(s) unresolved below the retry budget", n)})
+	}
+	return FaultRun{Mismatches: out, Injected: inj.Stats(), Metrics: client.Metrics(), Result: res}
+}
+
+// CheckFaultDegradation is the above-budget invariant: when fault depth
+// exceeds the retry budget, every contract must either match the fault-free
+// baseline exactly or be explicitly Unresolved with the error attached —
+// never silently wrong, never missing from the totals.
+func CheckFaultDegradation(c *gen.Corpus, sched faultchain.Schedule, copts faultchain.Options, opts proxion.AnalyzeOptions) FaultRun {
+	base := proxion.NewDetector(c.Chain).AnalyzeAllWithOptions(c.Registry, opts)
+	res, client, inj := analyzeFaulted(c, sched, copts, opts)
+
+	var out []Mismatch
+	if len(res.Reports) != len(base.Reports) {
+		out = append(out, Mismatch{Layer: "faults",
+			Detail: fmt.Sprintf("faulted run dropped contracts: %d reports vs %d", len(res.Reports), len(base.Reports))})
+		return FaultRun{Mismatches: out, Injected: inj.Stats(), Metrics: client.Metrics(), Result: res}
+	}
+	unresolved := 0
+	for i, rep := range res.Reports {
+		if rep.Address != base.Reports[i].Address {
+			out = append(out, Mismatch{Addr: rep.Address, Layer: "faults",
+				Detail: fmt.Sprintf("report order diverges at %d", i)})
+			continue
+		}
+		if rep.Unresolved {
+			unresolved++
+			if rep.ResolveErr == nil {
+				out = append(out, Mismatch{Addr: rep.Address, Layer: "faults",
+					Detail: "unresolved report carries no error"})
+			}
+			continue
+		}
+		if fa, fb := formatReport(base.Reports[i]), formatReport(rep); fa != fb {
+			out = append(out, Mismatch{Addr: rep.Address, Layer: "faults",
+				Detail: fmt.Sprintf("resolved report differs from fault-free baseline:\n    a: %s\n    b: %s", fa, fb)})
+		}
+	}
+	// Pairs the faulted run did complete must match the baseline's.
+	basePairs := make(map[string]string)
+	for _, pa := range base.Pairs {
+		basePairs[pa.Proxy.Hex()] = formatPair(pa)
+	}
+	for _, pa := range res.Pairs {
+		want, ok := basePairs[pa.Proxy.Hex()]
+		if !ok {
+			out = append(out, Mismatch{Addr: pa.Proxy, Layer: "faults",
+				Detail: "faulted run produced a pair absent from the fault-free baseline"})
+			continue
+		}
+		if got := formatPair(pa); got != want {
+			out = append(out, Mismatch{Addr: pa.Proxy, Layer: "faults",
+				Detail: fmt.Sprintf("completed pair differs from fault-free baseline:\n    a: %s\n    b: %s", want, got)})
+		}
+	}
+	if int64(unresolved) != res.Stats.Unresolved {
+		out = append(out, Mismatch{Layer: "faults",
+			Detail: fmt.Sprintf("stats count %d unresolved, reports carry %d", res.Stats.Unresolved, unresolved)})
+	}
+	return FaultRun{Mismatches: out, Injected: inj.Stats(), Metrics: client.Metrics(), Result: res}
+}
+
+// CheckFaultParitySequential is CheckFaultParity over the sequential
+// detection path (one Check per contract, in chain order) instead of the
+// streaming engine. Being single-threaded, the injector's first-touch fault
+// order is fully deterministic, which makes this the replay to hand to
+// faultchain.MinimizeSchedule: a failing schedule shrinks to the minimal
+// Limit that still reproduces.
+func CheckFaultParitySequential(c *gen.Corpus, sched faultchain.Schedule, copts faultchain.Options) []Mismatch {
+	ref := SequentialReference(c)
+	client, _ := faultchain.NewResilientReader(c.Chain, &sched, copts)
+	d := proxion.NewDetector(client)
+	got := &Reference{}
+	for _, addr := range c.Chain.Contracts() {
+		rep := d.Check(addr)
+		got.Reports = append(got.Reports, rep)
+		if rep.IsProxy {
+			// Above the budget a pair analysis can terminally fail; it then
+			// surfaces as a missing pair in the diff rather than a crash.
+			var pa proxion.PairAnalysis
+			if re := chain.CaptureReadError(func() { pa = d.AnalyzePair(addr, rep.Logic, c.Registry) }); re == nil {
+				got.Pairs = append(got.Pairs, pa)
+			}
+		}
+	}
+	out := diffReports("faults-seq", ref.Reports, got.Reports)
+	out = append(out, diffPairs("faults-seq", ref.Pairs, got.Pairs)...)
+	return out
+}

@@ -185,9 +185,13 @@ func formatReport(rep proxion.Report) string {
 	if rep.EmulationErr != nil {
 		err = rep.EmulationErr.Error()
 	}
-	return fmt.Sprintf("proxy=%v logic=%v target=%v slot=%x std=%v dc=%v err=%s reason=%q",
+	resolveErr := "<nil>"
+	if rep.ResolveErr != nil {
+		resolveErr = rep.ResolveErr.Error()
+	}
+	return fmt.Sprintf("proxy=%v logic=%v target=%v slot=%x std=%v dc=%v err=%s unresolved=%v rerr=%s reason=%q",
 		rep.IsProxy, rep.Logic.Hex(), rep.Target, rep.ImplSlot, rep.Standard,
-		rep.HasDelegateCall, err, rep.Reason)
+		rep.HasDelegateCall, err, rep.Unresolved, resolveErr, rep.Reason)
 }
 
 // formatPair renders every observable field of a pair analysis.

@@ -41,6 +41,18 @@ type Stats struct {
 	// StorageAPICalls is the number of archive getStorageAt calls the run
 	// issued; set once at the end from the chain's counter delta.
 	StorageAPICalls Counter
+	// Unresolved counts contracts whose chain reads terminally failed and
+	// that were degraded to an explicit Unresolved report instead of being
+	// dropped; always zero over a fault-free node.
+	Unresolved Counter
+	// Retries counts read re-attempts by the resilient chain client; set
+	// once at the end from the client's counter delta. Deterministic for a
+	// fixed fault schedule below the retry budget: every faulted read fails
+	// exactly its scheduled number of attempts, whatever the interleaving.
+	Retries Counter
+	// BreakerTrips counts closed→open circuit breaker transitions during
+	// the run; like Retries, a client counter delta.
+	BreakerTrips Counter
 }
 
 // StageSnapshot is the frozen instrumentation of one stage.
@@ -72,6 +84,10 @@ type Snapshot struct {
 	HistoriesRecovered int64 `json:"histories_recovered,omitempty"`
 	StorageAPICalls    int64 `json:"get_storage_at_calls"`
 
+	Unresolved   int64 `json:"unresolved"`
+	Retries      int64 `json:"read_retries"`
+	BreakerTrips int64 `json:"breaker_trips"`
+
 	Stages []StageSnapshot `json:"stages"`
 }
 
@@ -97,6 +113,9 @@ func (s *Snapshot) Counters() map[string]int64 {
 		"pairs_analyzed":       s.PairsAnalyzed,
 		"histories_recovered":  s.HistoriesRecovered,
 		"get_storage_at_calls": s.StorageAPICalls,
+		"unresolved":           s.Unresolved,
+		"read_retries":         s.Retries,
+		"breaker_trips":        s.BreakerTrips,
 	}
 	for _, st := range s.Stages {
 		m["stage_"+st.Name+"_processed"] = st.Processed
@@ -120,6 +139,9 @@ func (e *Engine) Snapshot(st *Stats) *Snapshot {
 		PairsAnalyzed:      st.PairsAnalyzed.Load(),
 		HistoriesRecovered: st.HistoriesRecovered.Load(),
 		StorageAPICalls:    st.StorageAPICalls.Load(),
+		Unresolved:         st.Unresolved.Load(),
+		Retries:            st.Retries.Load(),
+		BreakerTrips:       st.BreakerTrips.Load(),
 	}
 	if secs := wall.Seconds(); secs > 0 {
 		snap.ContractsPerSec = float64(snap.Contracts) / secs

@@ -185,6 +185,9 @@ func TestSnapshotCountersExport(t *testing.T) {
 		"pairs_analyzed":        0,
 		"histories_recovered":   0,
 		"get_storage_at_calls":  0,
+		"unresolved":            0,
+		"read_retries":          0,
+		"breaker_trips":         0,
 		"stage_alpha_processed": n,
 		"stage_beta_processed":  n,
 	}

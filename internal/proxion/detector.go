@@ -107,13 +107,43 @@ type Report struct {
 	// EmulationErr is the terminal EVM error, if emulation failed before a
 	// verdict (the paper's ~1.2–4.9% runtime-error cases).
 	EmulationErr error
+	// Unresolved marks a contract whose chain reads terminally failed (the
+	// resilient client exhausted its retry budget or the circuit breaker
+	// rejected the read). The contract stays in every total but its verdict
+	// — or, when set after detection succeeded, its collision/history
+	// analysis — could not be computed; ResolveErr carries the failure.
+	Unresolved bool
+	// ResolveErr is the terminal read failure behind Unresolved.
+	ResolveErr error
 	// Reason is a one-line human-readable justification of the verdict.
 	Reason string
 }
 
-// Detector runs the Proxion pipeline against a chain snapshot.
+// unresolvedReport is the graceful-degradation outcome for a contract whose
+// reads exhausted the resilient client's retry budget.
+func unresolvedReport(addr etypes.Address, re *chain.ReadError) Report {
+	return Report{
+		Address:    addr,
+		Unresolved: true,
+		ResolveErr: re,
+		Reason:     "unresolved: " + re.Error(),
+	}
+}
+
+// markUnresolved degrades an already-computed report whose downstream
+// analysis (pair collisions, history recovery) terminally failed.
+func markUnresolved(rep *Report, re *chain.ReadError) {
+	rep.Unresolved = true
+	if rep.ResolveErr == nil {
+		rep.ResolveErr = re
+	}
+}
+
+// Detector runs the Proxion pipeline against a chain snapshot, reached
+// through the chain.Reader node surface: the in-memory chain directly, or
+// the faultchain resilient client when the node can fail.
 type Detector struct {
-	chain *chain.Chain
+	chain chain.Reader
 	// emulationGas bounds each emulation run.
 	emulationGas uint64
 	// selCache memoizes dispatcher-selector extraction by bytecode hash,
@@ -129,8 +159,8 @@ type Detector struct {
 	verdicts *verdictCache
 }
 
-// NewDetector creates a detector over the given chain.
-func NewDetector(c *chain.Chain) *Detector {
+// NewDetector creates a detector over the given node surface.
+func NewDetector(c chain.Reader) *Detector {
 	return &Detector{
 		chain:        c,
 		emulationGas: 5_000_000,
@@ -141,8 +171,8 @@ func NewDetector(c *chain.Chain) *Detector {
 	}
 }
 
-// Chain returns the chain snapshot under analysis.
-func (d *Detector) Chain() *chain.Chain { return d.chain }
+// Chain returns the node surface under analysis.
+func (d *Detector) Chain() chain.Reader { return d.chain }
 
 // emulationContext builds the block environment for emulation runs: the
 // latest block's values, per Section 4.2 ("all alive contracts are supposed
@@ -265,13 +295,23 @@ func (t *emulationTracer) CaptureExit([]byte, error) {}
 // probeSender is the synthetic externally owned account emulation calls from.
 var probeSender = etypes.MustAddress("0x00000000000000000000000000000000c0ffee00")
 
-// Check runs the full two-step pipeline on one contract.
+// Check runs the full two-step pipeline on one contract. When the chain
+// reader is a resilient client, a terminal read failure degrades to an
+// Unresolved report instead of propagating (the Reader error contract).
 func (d *Detector) Check(addr etypes.Address) Report {
+	var rep Report
+	if re := chain.CaptureReadError(func() { rep = d.check(addr) }); re != nil {
+		return unresolvedReport(addr, re)
+	}
+	return rep
+}
+
+func (d *Detector) check(addr etypes.Address) Report {
 	code := d.chain.Code(addr)
 	if len(code) == 0 {
 		return Report{Address: addr, Reason: "no code at address"}
 	}
-	return d.CheckWithCallData(addr, CraftCallData(addr, code))
+	return d.checkWithCallData(addr, CraftCallData(addr, code))
 }
 
 // CheckWithCallData runs the pipeline with caller-supplied probe call data.
@@ -279,6 +319,14 @@ func (d *Detector) Check(addr etypes.Address) Report {
 // ablation passes deliberately colliding call data to quantify how much the
 // PUSH4-avoidance matters.
 func (d *Detector) CheckWithCallData(addr etypes.Address, probe []byte) Report {
+	var rep Report
+	if re := chain.CaptureReadError(func() { rep = d.checkWithCallData(addr, probe) }); re != nil {
+		return unresolvedReport(addr, re)
+	}
+	return rep
+}
+
+func (d *Detector) checkWithCallData(addr etypes.Address, probe []byte) Report {
 	code := d.chain.Code(addr)
 	if len(code) == 0 {
 		return Report{Address: addr, Reason: "no code at address"}

@@ -3,11 +3,20 @@ package proxion
 import (
 	"runtime"
 
+	"repro/internal/chain"
 	"repro/internal/disasm"
 	"repro/internal/etypes"
 	"repro/internal/evm"
 	"repro/internal/pipeline"
 )
+
+// resilienceSource is the structural shape of a chain.Reader that tracks
+// its own retry/breaker activity (the faultchain resilient client). The
+// engine discovers it by type assertion so this package stays free of a
+// faultchain dependency.
+type resilienceSource interface {
+	ResilienceCounters() (retries, breakerTrips int64)
+}
 
 // AnalyzeOptions tunes the streaming analysis engine. The zero value
 // selects production defaults: every stage sized from GOMAXPROCS, the
@@ -71,20 +80,29 @@ func (d *Detector) AnalyzeAll(sources SourceProvider) *Result {
 	return d.AnalyzeAllWithOptions(sources, AnalyzeOptions{})
 }
 
-// AnalyzeAllWithOptions is AnalyzeAll with explicit engine tuning.
+// AnalyzeAllWithOptions is AnalyzeAll with explicit engine tuning. If even
+// the contract enumeration fails terminally (node down before the run
+// started), the result is an empty — not partial, not panicking — run.
 func (d *Detector) AnalyzeAllWithOptions(sources SourceProvider, opts AnalyzeOptions) *Result {
-	return d.analyze(d.chain.Contracts(), sources, opts)
+	var addrs []etypes.Address
+	chain.CaptureReadError(func() { addrs = d.chain.Contracts() })
+	return d.analyze(addrs, sources, opts)
 }
 
 // AnalyzeSince runs the same streaming pipeline restricted to contracts
 // deployed after the given block height — the incremental mode a
 // production deployment uses to keep pace with the chain instead of
 // re-scanning all 36M contracts. AnalyzeSince(0, …) is equivalent to
-// AnalyzeAll.
+// AnalyzeAll. A contract whose deployment block cannot be read is included
+// conservatively rather than silently dropped.
 func (d *Detector) AnalyzeSince(height uint64, sources SourceProvider) *Result {
+	var all []etypes.Address
+	chain.CaptureReadError(func() { all = d.chain.Contracts() })
 	var addrs []etypes.Address
-	for _, addr := range d.chain.Contracts() {
-		if d.chain.CreatedAt(addr) > height {
+	for _, addr := range all {
+		created := uint64(0)
+		unknown := chain.CaptureReadError(func() { created = d.chain.CreatedAt(addr) }) != nil
+		if unknown || created > height {
 			addrs = append(addrs, addr)
 		}
 	}
@@ -97,9 +115,16 @@ func (d *Detector) analyze(addrs []etypes.Address, sources SourceProvider, opts 
 	n := len(addrs)
 	reports := make([]Report, n)
 	pairSlots := make([]*PairAnalysis, n)
+	// Terminal read failures in the post-detection stages land in their own
+	// slot arrays — the report slot is owned by the classify stage, so
+	// concurrent history/pair failures must not write it — and are merged
+	// into the reports after the pipeline drains.
+	pairErrs := make([]*chain.ReadError, n)
 	var histSlots []*HistoricalAnalysis
+	var histErrs []*chain.ReadError
 	if opts.WithHistory {
 		histSlots = make([]*HistoricalAnalysis, n)
+		histErrs = make([]*chain.ReadError, n)
 	}
 
 	procs := runtime.GOMAXPROCS(0)
@@ -123,6 +148,11 @@ func (d *Detector) analyze(addrs []etypes.Address, sources SourceProvider, opts 
 	eng := pipeline.New()
 	var stats pipeline.Stats
 	apiBefore := d.chain.APICalls()
+	var retriesBefore, tripsBefore int64
+	resil, hasResil := d.chain.(resilienceSource)
+	if hasResil {
+		retriesBefore, tripsBefore = resil.ResilienceCounters()
+	}
 
 	// The probe stage gets the full CPU budget — emulation dominates the
 	// per-contract cost — while the cheap bookends share smaller pools.
@@ -153,9 +183,14 @@ func (d *Detector) analyze(addrs []etypes.Address, sources SourceProvider, opts 
 	})
 
 	// Stage 1 — disassembly filter (Section 4.1): contracts without a
-	// DELEGATECALL opcode are rejected without an emulation.
+	// DELEGATECALL opcode are rejected without an emulation. A terminal
+	// read failure degrades the contract to Unresolved (Reader contract).
 	pipeline.Run(eng, stFilter, feedCh, func(it feedItem) {
-		code := d.chain.Code(it.addr)
+		var code []byte
+		if re := chain.CaptureReadError(func() { code = d.chain.Code(it.addr) }); re != nil {
+			reports[it.idx] = unresolvedReport(it.addr, re)
+			return
+		}
 		switch {
 		case len(code) == 0:
 			stats.NoCode.Add(1)
@@ -172,19 +207,23 @@ func (d *Detector) analyze(addrs []etypes.Address, sources SourceProvider, opts 
 	// runtime bytecode thanks to the verdict cache.
 	pipeline.Run(eng, stProbe, probeCh, func(it probeItem) {
 		var rep Report
-		if opts.DisableDedup {
-			rep = d.emulateProbe(it.addr, it.code, CraftCallData(it.addr, it.code)).rep
-			stats.Emulations.Add(1)
-		} else {
-			var hit bool
-			rep, hit = d.checkDeduped(it.addr, it.code)
-			if hit {
-				stats.CacheHits.Add(1)
-			} else {
+		re := chain.CaptureReadError(func() {
+			if opts.DisableDedup {
+				rep = d.emulateProbe(it.addr, it.code, CraftCallData(it.addr, it.code)).rep
 				stats.Emulations.Add(1)
+			} else {
+				var hit bool
+				rep, hit = d.checkDeduped(it.addr, it.code)
+				if hit {
+					stats.CacheHits.Add(1)
+				} else {
+					stats.Emulations.Add(1)
+				}
 			}
-		}
-		if rep.EmulationErr != nil {
+		})
+		if re != nil {
+			rep = unresolvedReport(it.addr, re)
+		} else if rep.EmulationErr != nil {
 			stats.EmulationAborts.Add(1)
 		}
 		classifyCh <- classifyItem{idx: it.idx, code: it.code, rep: rep}
@@ -213,24 +252,56 @@ func (d *Detector) analyze(addrs []etypes.Address, sources SourceProvider, opts 
 		}
 	})
 
-	// Stage 4 (optional) — logic-history recovery via Algorithm 1.
+	// Stage 4 (optional) — logic-history recovery via Algorithm 1. A read
+	// failure leaves the history slot empty and is merged into the report
+	// after the pipeline drains.
 	if opts.WithHistory {
 		pipeline.Run(eng, stHistory, histCh, func(it historyItem) {
-			h := d.AnalyzePairHistory(it.rep, sources)
+			var h HistoricalAnalysis
+			if re := chain.CaptureReadError(func() { h = d.AnalyzePairHistory(it.rep, sources) }); re != nil {
+				histErrs[it.idx] = re
+				return
+			}
 			histSlots[it.idx] = &h
 			stats.HistoriesRecovered.Add(1)
 		}, nil)
 	}
 
-	// Stage 5 — pair collision analysis (Section 5).
+	// Stage 5 — pair collision analysis (Section 5), degrading like stage 4.
 	pipeline.Run(eng, stPair, pairCh, func(it pairItem) {
-		pa := d.AnalyzePair(it.proxy, it.logic, sources)
+		var pa PairAnalysis
+		if re := chain.CaptureReadError(func() { pa = d.AnalyzePair(it.proxy, it.logic, sources) }); re != nil {
+			pairErrs[it.idx] = re
+			return
+		}
 		pairSlots[it.idx] = &pa
 		stats.PairsAnalyzed.Add(1)
 	}, nil)
 
 	eng.Wait()
 	stats.StorageAPICalls.Add(d.chain.APICalls() - apiBefore)
+	if hasResil {
+		r, t := resil.ResilienceCounters()
+		stats.Retries.Add(r - retriesBefore)
+		stats.BreakerTrips.Add(t - tripsBefore)
+	}
+
+	// Merge post-detection failures and count every contract the run could
+	// not fully resolve: nothing is dropped from totals, each degraded
+	// contract is explicitly marked instead.
+	for i := range reports {
+		if re := pairErrs[i]; re != nil {
+			markUnresolved(&reports[i], re)
+		}
+		if histErrs != nil {
+			if re := histErrs[i]; re != nil {
+				markUnresolved(&reports[i], re)
+			}
+		}
+		if reports[i].Unresolved {
+			stats.Unresolved.Add(1)
+		}
+	}
 
 	res := &Result{Reports: reports}
 	for _, pa := range pairSlots {

@@ -12,7 +12,7 @@ import (
 // CREATEs; the overlay absorbs all of that so detection never perturbs the
 // chain and many detections can run concurrently over a frozen chain.
 type overlayState struct {
-	base *chain.Chain
+	base chain.Reader
 
 	code    map[etypes.Address][]byte
 	storage map[etypes.Address]map[etypes.Hash]etypes.Hash
@@ -26,7 +26,7 @@ type overlayState struct {
 
 var _ evm.StateDB = (*overlayState)(nil)
 
-func newOverlay(base *chain.Chain) *overlayState {
+func newOverlay(base chain.Reader) *overlayState {
 	return &overlayState{
 		base:    base,
 		code:    make(map[etypes.Address][]byte),

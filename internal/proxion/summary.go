@@ -24,6 +24,12 @@ type Summary struct {
 	// EmulationErrors counts terminal EVM failures (Section 7.1).
 	EmulationErrors int `json:"emulation_errors"`
 
+	// Unresolved counts contracts whose chain reads terminally failed under
+	// a fallible node; they stay in Contracts but carry no full verdict.
+	// Retry and breaker activity behind them is in Pipeline (read_retries,
+	// breaker_trips).
+	Unresolved int `json:"unresolved"`
+
 	// PairsWithFunctionCollisions / PairsWithStorageCollisions /
 	// VerifiedExploits summarize Section 5's output.
 	PairsWithFunctionCollisions int `json:"pairs_with_function_collisions"`
@@ -46,6 +52,9 @@ func Summarize(res *Result) Summary {
 	for _, rep := range res.Reports {
 		if rep.EmulationErr != nil {
 			s.EmulationErrors++
+		}
+		if rep.Unresolved {
+			s.Unresolved++
 		}
 		if !rep.IsProxy {
 			continue

@@ -101,6 +101,17 @@ func (d *Detector) checkDeduped(addr etypes.Address, code []byte) (Report, bool)
 		return recorded, false
 	}
 
+	// A recording run that panicked with a read failure consumes the Once
+	// but leaves the entry empty. Its guard slots are unknown, so verdicts
+	// for this bytecode can never transfer safely: probe every duplicate
+	// fresh and cache nothing.
+	entry.mu.Lock()
+	poisoned := entry.byFP == nil
+	entry.mu.Unlock()
+	if poisoned {
+		return d.emulateProbe(addr, code, CraftCallData(addr, code)).rep, false
+	}
+
 	fp := d.guardFingerprint(addr, entry.guardSlots)
 	entry.mu.Lock()
 	v, ok := entry.byFP[fp]
