@@ -2,7 +2,7 @@
 # push, `make fuzz` is the scheduled deep run, `make bench-gate` is the
 # pull-request performance gate.
 
-.PHONY: build vet test short race bench bench-gate bench-baseline chaos ci fuzz
+.PHONY: build vet test short race bench bench-gate bench-baseline chaos ci fuzz soak
 
 # Per-target budget for the native fuzz engines in `make fuzz`.
 FUZZTIME ?= 60s
@@ -12,6 +12,11 @@ ORACLE_SWEEP ?= 500
 CHAOS_SWEEP ?= 0
 # Allowed relative median regression for the performance gate (0.30 = +30%).
 BENCH_THRESHOLD ?= 0.30
+# Corpus size for the streaming soak and its asserted peak-heap ceiling.
+# A 1M run measures ~0.6 GiB peak heap; the 2 GiB ceiling leaves headroom
+# for GC pacing noise while still catching per-contract retention leaks.
+SOAK_CONTRACTS ?= 1000000
+SOAK_MAX_HEAP_MB ?= 2048
 
 build:
 	go build ./...
@@ -49,6 +54,14 @@ bench-baseline:
 chaos:
 	CHAOS_SWEEP=$(CHAOS_SWEEP) go test -race ./internal/faultchain -count=1 -timeout 30m
 	go test -race ./internal/gen/oracle -run 'Fault|MinimizeFaultSchedule' -count=1 -timeout 30m
+
+# Bounded-memory streaming soak: one long stream-landscape run (default
+# 1M contracts, ~6 minutes) with per-item latency percentiles and peak
+# heap/RSS in the report; exits non-zero if peak heap crosses the
+# ceiling. The nightly job runs this; PRs stay on the quick bench-gate.
+soak:
+	go run ./cmd/proxbench soak -contracts $(SOAK_CONTRACTS) \
+		-max-heap-mb $(SOAK_MAX_HEAP_MB) -out BENCH_soak.json
 
 ci: build vet race
 

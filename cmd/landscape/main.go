@@ -6,6 +6,14 @@
 // Usage:
 //
 //	landscape [-contracts N] [-seed S]
+//	landscape -stream [-retire] [-window N] [-contracts N] [-seed S]
+//
+// The default mode materializes the whole population before analyzing it.
+// -stream pipes the generator straight into the analysis engine and folds
+// the tables incrementally, never holding the corpus; with -retire the
+// generator also drops fully analyzed contracts, so memory stays bounded
+// by the windows at any -contracts — the mode that reproduces the paper's
+// proportion tables at millions of contracts.
 package main
 
 import (
@@ -14,8 +22,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"repro/internal/dataset"
+	"repro/internal/etypes"
 	"repro/internal/experiments"
 	"repro/internal/proxion"
 )
@@ -31,7 +41,15 @@ func run() error {
 	contracts := flag.Int("contracts", 4000, "population size (paper scale: 36M)")
 	seed := flag.Int64("seed", 1, "generation seed")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	stream := flag.Bool("stream", false, "stream generation into analysis instead of materializing the population")
+	retire := flag.Bool("retire", false, "with -stream: drop fully analyzed contracts for bounded memory")
+	window := flag.Int("window", 0, "with -stream: max in-flight contracts in the pipeline (0 = engine default)")
+	cacheCap := flag.Int("cache-capacity", 0, "with -stream: verdict-cache LRU bound (0 = unbounded)")
 	flag.Parse()
+
+	if *stream {
+		return runStream(*contracts, *seed, *window, *cacheCap, *retire, *csvDir)
+	}
 
 	pop := dataset.Generate(dataset.Config{Seed: *seed, Contracts: *contracts})
 	det := proxion.NewDetector(pop.Chain)
@@ -54,6 +72,89 @@ func run() error {
 			}
 		}
 	}
+	return nil
+}
+
+// runStream is the bounded-memory path: generator → engine → incremental
+// aggregates, with every label dropped as soon as its analysis item has
+// been folded. The RuntimeErrors table is batch-only (it re-analyzes a
+// materialized population) and is skipped here; everything else renders
+// from the Landscape fold. With -retire, proxies that upgrade after their
+// analysis report their deployment-time logic — the trade streaming makes.
+func runStream(contracts int, seed int64, window, cacheCap int, retire bool, csvDir string) error {
+	engineWindow := window
+	if engineWindow <= 0 {
+		engineWindow = 4096
+	}
+	s := dataset.GenerateStream(dataset.StreamConfig{
+		Config: dataset.Config{Seed: seed, Contracts: contracts},
+		Window: 2 * engineWindow,
+		Retire: retire,
+	})
+	defer s.Close()
+	fmt.Fprintf(os.Stderr, "streaming %d-contract landscape (seed %d, window %d, retire %v)...\n",
+		contracts, seed, engineWindow, retire)
+
+	det := proxion.NewDetector(s.Chain)
+	agg := experiments.NewLandscape(s.Chain, s.Registry, det)
+	sb := proxion.NewSummaryBuilder()
+
+	// Labels queue between source hand-off and ordered sink emission; the
+	// engine's window bounds its depth, and each label is released the
+	// moment it is folded.
+	var (
+		mu        sync.Mutex
+		queue     []*dataset.Label
+		completed int
+	)
+	src := proxion.SourceFunc(func() (etypes.Address, bool) {
+		l, ok := <-s.C
+		if !ok {
+			return etypes.Address{}, false
+		}
+		mu.Lock()
+		queue = append(queue, l)
+		mu.Unlock()
+		return l.Address, true
+	})
+	sink := proxion.SinkFunc(func(it proxion.Item) {
+		mu.Lock()
+		l := queue[0]
+		queue = queue[1:]
+		mu.Unlock()
+		agg.Observe(l, it)
+		sb.Emit(it)
+		completed++
+		s.Advance(completed)
+	})
+	snap := det.AnalyzeStream(src, s.Registry, sink, proxion.AnalyzeOptions{
+		Window:        engineWindow,
+		CacheCapacity: cacheCap,
+	})
+	fmt.Fprintf(os.Stderr, "analyzed %d contracts (%.0f contracts/s), %d retired\n",
+		snap.Contracts, snap.ContractsPerSec, s.Retired())
+
+	sum := sb.Summary(snap)
+	fmt.Printf("summary: %d contracts, %d proxies (%.1f%%), %d unresolved\n\n",
+		sum.Contracts, sum.Proxies, 100*sum.ProxyShare(), sum.Unresolved)
+
+	for _, t := range []*experiments.Table{
+		agg.Figure2(),
+		agg.Figure4(),
+		agg.Table3(),
+		agg.Figure5(),
+		agg.Table4(),
+		agg.Figure6(),
+		agg.HiddenProxies(),
+	} {
+		fmt.Println(t.Render())
+		if csvDir != "" {
+			if err := writeCSV(csvDir, t); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Fprintln(os.Stderr, "note: RuntimeErrors (Section 7.1) requires a materialized population; run without -stream for it")
 	return nil
 }
 

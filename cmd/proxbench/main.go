@@ -8,6 +8,9 @@
 //	                                  and exit 1 on regression
 //	proxbench compare -current F      diff an existing run file against -baseline
 //	                                  without re-measuring
+//	proxbench soak [soak flags]       run the bounded-memory streaming soak
+//	                                  (one long run, per-item latency + peak
+//	                                  memory; see -max-heap-mb)
 //	proxbench -list                   print the workload catalogue and exit
 //
 // Flags:
@@ -64,8 +67,12 @@ func run() int {
 	// "compare" works both as a leading subcommand (proxbench compare
 	// -current F) and as a trailing word (proxbench -quick compare); the
 	// flag package stops at the first positional argument, so the leading
-	// form must be peeled off before parsing.
+	// form must be peeled off before parsing. "soak" has its own flag set
+	// entirely.
 	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "soak" {
+		return runSoak(args[1:])
+	}
 	compareCmd := false
 	if len(args) > 0 && args[0] == "compare" {
 		compareCmd = true
@@ -166,6 +173,72 @@ func run() int {
 		return 1
 	}
 	fmt.Fprintf(os.Stderr, "proxbench: performance gate passed against %s\n", *baselinePath)
+	return 0
+}
+
+// runSoak is the "soak" subcommand: one long bounded-memory streaming run
+// over a generated landscape, reported in the same versioned JSON schema
+// as suite runs (profile "soak") and optionally gated on a peak-heap
+// ceiling for the nightly job.
+func runSoak(args []string) int {
+	fs := flag.NewFlagSet("proxbench soak", flag.ContinueOnError)
+	contracts := fs.Int("contracts", 1_000_000, "corpus size to stream")
+	seed := fs.Int64("seed", 1, "corpus generation seed")
+	window := fs.Int("window", 0, "engine in-flight window (0 = engine default)")
+	cacheCap := fs.Int("cache-capacity", 1<<16, "verdict-cache LRU bound (0 = unbounded)")
+	retire := fs.Int("retire-window", 0, "generator retirement lag in labels (0 = 2x engine window)")
+	out := fs.String("out", "", "report output path (default BENCH_SOAK_<timestamp>.json)")
+	maxHeapMB := fs.Int64("max-heap-mb", 0, "fail (exit 1) if peak heap exceeds this many MiB (0 = no ceiling)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "proxbench soak: unexpected arguments")
+		return 2
+	}
+
+	res, err := bench.RunSoak(bench.SoakOptions{
+		Contracts:     *contracts,
+		Seed:          *seed,
+		Window:        *window,
+		CacheCapacity: *cacheCap,
+		RetireWindow:  *retire,
+		Progress:      os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proxbench:", err)
+		return 2
+	}
+
+	rep := &bench.Report{
+		SchemaVersion: bench.SchemaVersion,
+		Profile:       "soak",
+		Seed:          *seed,
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		Host:          bench.HostInfo(),
+		Workloads:     []bench.WorkloadResult{res},
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_SOAK_" + time.Now().UTC().Format("20060102T150405Z") + ".json"
+	}
+	if err := rep.WriteFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, "proxbench:", err)
+		return 2
+	}
+
+	fmt.Printf("soak: %d contracts in %.1fs (%.0f contracts/s)\n",
+		res.Counters["contracts"], float64(res.WallNs)/1e9, res.OpsPerSec)
+	fmt.Printf("  item latency p50 %.3fms  p99 %.3fms\n", res.ItemP50NsPerOp/1e6, res.ItemP99NsPerOp/1e6)
+	fmt.Printf("  peak heap %.1f MiB  peak RSS %.1f MiB  retired %d\n",
+		float64(res.PeakHeapBytes)/(1<<20), float64(res.PeakRSSBytes)/(1<<20), res.Counters["retired"])
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+
+	if *maxHeapMB > 0 && res.PeakHeapBytes > *maxHeapMB<<20 {
+		fmt.Fprintf(os.Stderr, "proxbench: soak FAILED: peak heap %.1f MiB exceeds the %d MiB ceiling\n",
+			float64(res.PeakHeapBytes)/(1<<20), *maxHeapMB)
+		return 1
+	}
 	return 0
 }
 

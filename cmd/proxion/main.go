@@ -6,6 +6,7 @@
 // Usage:
 //
 //	proxion [-contracts N] [-seed S] [-v] [-collisions-only]
+//	        [-window N] [-cache-capacity N]
 //	        [-resilient] [-faults PROFILE] [-fault-seed S] [-fault-depth D]
 //	        [-retries N] [-rpc-timeout D] [-backoff D] [-inflight N]
 package main
@@ -45,6 +46,8 @@ func run() error {
 	verbose := flag.Bool("v", false, "print every detected proxy")
 	collisionsOnly := flag.Bool("collisions-only", false, "print only pairs with collisions")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable summary instead of text")
+	window := flag.Int("window", 0, "max in-flight contracts in the analysis pipeline (0 = engine default)")
+	cacheCap := flag.Int("cache-capacity", 0, "verdict-cache LRU bound in distinct bytecodes (0 = unbounded)")
 	resilient := flag.Bool("resilient", false, "route node reads through the resilient client even with faults off")
 	faults := flag.String("faults", "off", "fault-injection profile: off, "+profileNames())
 	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed")
@@ -88,7 +91,10 @@ func run() error {
 	}
 
 	det := proxion.NewDetector(reader)
-	res := det.AnalyzeAll(pop.Registry)
+	res := det.AnalyzeAllWithOptions(pop.Registry, proxion.AnalyzeOptions{
+		Window:        *window,
+		CacheCapacity: *cacheCap,
+	})
 
 	if *jsonOut {
 		out, err := proxion.Summarize(res).MarshalIndentJSON()

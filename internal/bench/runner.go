@@ -63,7 +63,7 @@ func RunSuite(ws []Workload, opts Options) (*Report, error) {
 		SchemaVersion: SchemaVersion,
 		Profile:       string(opts.Profile),
 		Seed:          opts.Seed,
-		Host:          hostInfo(),
+		Host:          HostInfo(),
 	}
 	for _, w := range ws {
 		res, err := measure(w, opts)

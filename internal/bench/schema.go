@@ -87,6 +87,25 @@ type WorkloadResult struct {
 	// Counters are the workload's deterministic outputs: identical for equal
 	// (seed, scale) on every machine. See the package comment.
 	Counters map[string]int64 `json:"counters,omitempty"`
+
+	// The fields below are soak-only (RunSoak): a single long streaming run
+	// measured for per-item latency and peak memory rather than repeated
+	// timing samples. They are additive and omitempty, so suite reports are
+	// byte-identical to schema version 1 reports from before soak existed.
+
+	// WallNs is the soak run's total wall time.
+	WallNs int64 `json:"wall_ns,omitempty"`
+	// ItemP50NsPerOp / ItemP99NsPerOp are per-contract end-to-end latency
+	// percentiles (source hand-off to sink emission), read from a
+	// log-bucketed histogram — resolution is ~±25% of the value, which is
+	// plenty for regression trajectories.
+	ItemP50NsPerOp float64 `json:"item_p50_ns_per_op,omitempty"`
+	ItemP99NsPerOp float64 `json:"item_p99_ns_per_op,omitempty"`
+	// PeakHeapBytes is the maximum runtime.MemStats.HeapInuse observed by
+	// the soak's sampler; PeakRSSBytes is the kernel's VmHWM for the whole
+	// process (0 where /proc is unavailable).
+	PeakHeapBytes int64 `json:"peak_heap_bytes,omitempty"`
+	PeakRSSBytes  int64 `json:"peak_rss_bytes,omitempty"`
 }
 
 // Workload returns the named result, or nil.

@@ -327,8 +327,8 @@ func setupEVMLoop(seed int64, scale int) Instance {
 	}
 }
 
-// hostInfo captures the measuring environment.
-func hostInfo() Host {
+// HostInfo captures the measuring environment.
+func HostInfo() Host {
 	return Host{
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,

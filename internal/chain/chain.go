@@ -98,7 +98,15 @@ type Chain struct {
 
 	cfg      Config
 	accounts map[etypes.Address]*account
-	blocks   []BlockHeader
+	// head is the latest block height. Headers are pure functions of
+	// (config, number) and are computed on demand, so the archive's block
+	// index costs no memory however far the chain advances — a prerequisite
+	// for streaming million-contract landscapes, where the old header slice
+	// alone would hold ~100 MB at two blocks per generated contract.
+	head uint64
+	// headHeader caches the latest header so the emulation hot path
+	// (one LatestHeader per probe) never re-hashes the head block.
+	headHeader BlockHeader
 
 	journal []func()
 
@@ -139,7 +147,7 @@ func NewWithConfig(cfg Config) *Chain {
 		txCount:     make(map[etypes.Address]int),
 		txSelectors: make(map[etypes.Address]map[[4]byte]struct{}),
 	}
-	c.blocks = append(c.blocks, c.makeHeader(0))
+	c.headHeader = c.makeHeader(0)
 	return c
 }
 
@@ -165,7 +173,7 @@ func (c *Chain) CurrentBlock() uint64 {
 	return c.currentBlock()
 }
 
-func (c *Chain) currentBlock() uint64 { return c.blocks[len(c.blocks)-1].Number }
+func (c *Chain) currentBlock() uint64 { return c.head }
 
 // LatestHeader returns the latest block header.
 func (c *Chain) LatestHeader() BlockHeader {
@@ -174,7 +182,7 @@ func (c *Chain) LatestHeader() BlockHeader {
 	return c.latestHeader()
 }
 
-func (c *Chain) latestHeader() BlockHeader { return c.blocks[len(c.blocks)-1] }
+func (c *Chain) latestHeader() BlockHeader { return c.headHeader }
 
 // HeaderByNumber returns the header at the given height.
 func (c *Chain) HeaderByNumber(n uint64) (BlockHeader, error) {
@@ -184,10 +192,10 @@ func (c *Chain) HeaderByNumber(n uint64) (BlockHeader, error) {
 }
 
 func (c *Chain) headerByNumber(n uint64) (BlockHeader, error) {
-	if n >= uint64(len(c.blocks)) {
+	if n > c.head {
 		return BlockHeader{}, fmt.Errorf("chain: no block %d (head %d)", n, c.currentBlock())
 	}
-	return c.blocks[n], nil
+	return c.makeHeader(n), nil
 }
 
 // AdvanceBlocks appends n empty blocks.
@@ -198,10 +206,11 @@ func (c *Chain) AdvanceBlocks(n uint64) {
 }
 
 func (c *Chain) advanceBlocks(n uint64) {
-	next := c.currentBlock() + 1
-	for i := uint64(0); i < n; i++ {
-		c.blocks = append(c.blocks, c.makeHeader(next+i))
+	if n == 0 {
+		return
 	}
+	c.head += n
+	c.headHeader = c.makeHeader(c.head)
 }
 
 // AdvanceTo fast-forwards the chain to the given height.
@@ -448,6 +457,45 @@ func (c *Chain) Logs() []Log {
 	out := make([]Log, len(c.logs))
 	copy(out, c.logs)
 	return out
+}
+
+// Forget removes an account and its per-address bookkeeping (storage
+// history, transaction counts, observed selectors) from the archive. The
+// streaming landscape generator retires fully-analyzed windows through it
+// so peak memory tracks the window size instead of the corpus size. A
+// later write to a forgotten address transparently recreates an empty
+// account; code is gone for good, which is exactly the retirement
+// contract — nothing downstream reads a retired contract again.
+func (c *Chain) Forget(addr etypes.Address) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.accounts, addr)
+	delete(c.txCount, addr)
+	delete(c.txSelectors, addr)
+}
+
+// TrimEvents drops delegate events and logs emitted before the given
+// block, bounding the trace buffers that otherwise grow with every
+// generated transaction. Trace-based baselines (CRUSH, Salehi) only read
+// events for contracts still under analysis, which retirement keeps above
+// the trim point.
+func (c *Chain) TrimEvents(before uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.delegateEvents = trimByBlock(c.delegateEvents, before, func(e DelegateEvent) uint64 { return e.Block })
+	c.logs = trimByBlock(c.logs, before, func(l Log) uint64 { return l.Block })
+}
+
+// trimByBlock drops the (chronological) prefix of events older than
+// `before`, reallocating so the freed prefix is actually collectable.
+func trimByBlock[E any](events []E, before uint64, blockOf func(E) uint64) []E {
+	idx := sort.Search(len(events), func(i int) bool { return blockOf(events[i]) >= before })
+	if idx == 0 {
+		return events
+	}
+	kept := make([]E, len(events)-idx)
+	copy(kept, events[idx:])
+	return kept
 }
 
 // LogsInRange returns logs emitted in blocks [from, to], optionally

@@ -155,7 +155,7 @@ func Generate(cfg Config) *Population {
 		cfg:      cfg,
 		nextAddr: 0x100000,
 	}
-	g := &generator{pop: p, rng: rng, cfg: cfg}
+	g := &generator{pop: p, rng: rng, cfg: cfg, retain: true}
 	g.run()
 	return p
 }
@@ -165,6 +165,19 @@ type generator struct {
 	pop *Population
 	rng *rand.Rand
 	cfg Config
+
+	// retain keeps every label in Population.Labels/ByAddr (the batch
+	// mode). Streaming generation turns it off so the corpus never
+	// accumulates in memory.
+	retain bool
+	// emit, when set, receives each label the moment its contract is on
+	// chain — the streaming tap. It may block; that blocking is the
+	// generator's backpressure.
+	emit func(*Label)
+	// keepAlive, when set, marks addresses that must survive streaming
+	// retirement: shared logic targets and proxies with upgrades still
+	// scheduled against them.
+	keepAlive func(etypes.Address)
 
 	// Shared logic targets for the clone mega-families.
 	coinToolLogic etypes.Address
@@ -179,9 +192,12 @@ type generator struct {
 	pendingUpgrades map[int][]upgrade
 }
 
+// upgrade carries the label itself, not just the address, so a scheduled
+// logic switch can update its proxy's ground truth without an index over
+// the whole population.
 type upgrade struct {
-	proxy etypes.Address
-	slot  etypes.Hash
+	lbl  *Label
+	slot etypes.Hash
 }
 
 // newAddr mints a fresh deterministic address.
@@ -194,15 +210,22 @@ func (p *Population) newAddr() etypes.Address {
 }
 
 // add installs code, records the label, and registers source if published.
+// In streaming mode the label is handed to the emit tap instead of (or in
+// addition to) the retained slices.
 func (g *generator) add(l *Label, code []byte, src *solc.Contract) *Label {
 	if l.Address.IsZero() {
 		l.Address = g.pop.newAddr()
 	}
 	g.pop.Chain.InstallContract(l.Address, code)
-	g.pop.Labels = append(g.pop.Labels, l)
-	g.pop.ByAddr[l.Address] = l
+	if g.retain {
+		g.pop.Labels = append(g.pop.Labels, l)
+		g.pop.ByAddr[l.Address] = l
+	}
 	if l.HasSource && src != nil {
 		g.pop.Registry.Publish(l.Address, src, l.CompilerKnown)
+	}
+	if g.emit != nil {
+		g.emit(l)
 	}
 	return l
 }
@@ -294,6 +317,22 @@ func (g *generator) deploySharedLogics() {
 	}
 	for i := 0; i < 4; i++ {
 		g.adHocLogics = append(g.adHocLogics, install(adHocLogic(i)))
+	}
+	if g.keepAlive != nil {
+		// Shared logic targets are delegated to by proxies deployed across
+		// all later years — they must never be retired.
+		g.keepAlive(g.coinToolLogic)
+		g.keepAlive(g.xenLogic)
+		g.keepAlive(g.ownableLogic)
+		for _, a := range g.cloneLogics {
+			g.keepAlive(a)
+		}
+		for _, a := range g.uupsLogics {
+			g.keepAlive(a)
+		}
+		for _, a := range g.adHocLogics {
+			g.keepAlive(a)
+		}
 	}
 	_ = c
 }
@@ -628,23 +667,32 @@ func (g *generator) maybeScheduleUpgrades(l *Label, year int, slot etypes.Hash) 
 	if r < 0.006 {
 		count = 20 + g.rng.Intn(60) // the Figure 6 long tail
 	}
+	if g.keepAlive != nil {
+		// The proxy's storage will be rewritten when each scheduled
+		// upgrade lands, possibly years after a streaming consumer
+		// finished with it — keep it out of retirement's reach.
+		g.keepAlive(l.Address)
+	}
 	for i := 0; i < count; i++ {
 		y := year + 1 + g.rng.Intn(3)
 		if y > 2023 {
-			g.applyUpgrade(upgrade{proxy: l.Address, slot: slot})
+			g.applyUpgrade(upgrade{lbl: l, slot: slot})
 			continue
 		}
-		g.pendingUpgrades[y] = append(g.pendingUpgrades[y], upgrade{proxy: l.Address, slot: slot})
+		g.pendingUpgrades[y] = append(g.pendingUpgrades[y], upgrade{lbl: l, slot: slot})
 	}
 }
 
 // applyUpgrade installs a fresh logic version and points the proxy at it.
+// The proxy's label mutates in place: in batch mode every caller still
+// holds the pointer; in streaming mode the label may already be emitted,
+// so consumers that need post-upgrade ground truth must read labels after
+// the stream drains (the documented streaming caveat).
 func (g *generator) applyUpgrade(up upgrade) {
 	c := g.pop.Chain
 	c.AdvanceBlocks(1)
 	v := g.deployLogicVersion()
-	c.SetStorageDirect(up.proxy, up.slot, etypes.HashFromWord(v.Word()))
-	lbl := g.pop.ByAddr[up.proxy]
-	lbl.Upgrades++
-	lbl.Logic = v
+	c.SetStorageDirect(up.lbl.Address, up.slot, etypes.HashFromWord(v.Word()))
+	up.lbl.Upgrades++
+	up.lbl.Logic = v
 }

@@ -43,6 +43,15 @@ func (r *Registry) Publish(addr etypes.Address, src *solc.Contract, compilerKnow
 	r.entries[addr] = Entry{Source: src, CompilerKnown: compilerKnown}
 }
 
+// Forget drops the record for addr, if any. Used by streaming-landscape
+// retirement so the registry's footprint tracks the analysis window, not
+// the corpus.
+func (r *Registry) Forget(addr etypes.Address) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.entries, addr)
+}
+
 // Source returns the published source for addr, or nil. Implements
 // proxion.SourceProvider.
 func (r *Registry) Source(addr etypes.Address) *solc.Contract {

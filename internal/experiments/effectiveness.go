@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"fmt"
+	"sort"
 
 	"repro/internal/crush"
 	"repro/internal/dataset"
@@ -151,8 +151,13 @@ func RuntimeErrors(pop *dataset.Population) *Table {
 		[]string{"clean analyses", pct(total-errs, total), "95.1%"},
 		[]string{"terminal EVM errors", itoa(errs) + " (" + pct(errs, total) + ")", "4.9%"},
 	)
-	for msg, n := range errKinds {
-		t.Rows = append(t.Rows, []string{"  " + msg, itoa(n), ""})
+	msgs := make([]string, 0, len(errKinds))
+	for msg := range errKinds {
+		msgs = append(msgs, msg)
+	}
+	sort.Strings(msgs)
+	for _, msg := range msgs {
+		t.Rows = append(t.Rows, []string{"  " + msg, itoa(errKinds[msg]), ""})
 	}
 	return t
 }
@@ -178,25 +183,10 @@ func EtherscanVerifierFPs(pop *dataset.Population) *Table {
 	return t
 }
 
-// hiddenProxies counts detector-confirmed proxies with neither source nor
+// HiddenProxies counts detector-confirmed proxies with neither source nor
 // transactions — the paper's 1.5M headline.
 func HiddenProxies(pop *dataset.Population, res *proxion.Result) *Table {
-	var hidden, totalProxies int
-	for _, rep := range res.Proxies() {
-		totalProxies++
-		l := pop.ByAddr[rep.Address]
-		if l != nil && !l.HasSource && !l.HasTx {
-			hidden++
-		}
-	}
-	t := &Table{
-		ID:     "Section 7.2",
-		Title:  "Hidden proxies (no source, no transactions)",
-		Header: []string{"metric", "measured", "paper"},
-	}
-	t.Rows = append(t.Rows,
-		[]string{"proxies detected", itoa(totalProxies), "19,599,317 (54.2%)"},
-		[]string{"hidden among them", fmt.Sprintf("%d (%s)", hidden, pct(hidden, totalProxies)), "~1.5M (~7.7%)"},
-	)
-	return t
+	a := NewLandscape(pop.Chain, pop.Registry, nil)
+	a.replay(pop, res)
+	return a.HiddenProxies()
 }

@@ -1,11 +1,7 @@
 package experiments
 
 import (
-	"fmt"
-	"sort"
-
 	"repro/internal/dataset"
-	"repro/internal/etypes"
 	"repro/internal/proxion"
 )
 
@@ -30,255 +26,50 @@ func populationLabels(pop *dataset.Population) []*dataset.Label {
 // Figure2 reproduces the availability breakdown: cumulative alive contracts
 // by (source code × past transactions) per year.
 func Figure2(pop *dataset.Population) *Table {
-	type counts struct{ both, sourceOnly, txOnly, neither int }
-	cum := make(map[int]*counts)
-	for _, y := range years {
-		cum[y] = &counts{}
+	a := NewLandscape(pop.Chain, pop.Registry, nil)
+	for _, l := range pop.Labels {
+		a.Observe(l, proxion.Item{})
 	}
-	for _, l := range populationLabels(pop) {
-		for _, y := range years {
-			if y < l.Year {
-				continue
-			}
-			c := cum[y]
-			switch {
-			case l.HasSource && l.HasTx:
-				c.both++
-			case l.HasSource:
-				c.sourceOnly++
-			case l.HasTx:
-				c.txOnly++
-			default:
-				c.neither++
-			}
-		}
-	}
-	t := &Table{
-		ID:     "Figure 2",
-		Title:  "Cumulative alive contracts by source/transaction availability",
-		Header: []string{"year", "source+tx", "source only", "tx only", "hidden (neither)", "total"},
-	}
-	for _, y := range years {
-		c := cum[y]
-		total := c.both + c.sourceOnly + c.txOnly + c.neither
-		t.Rows = append(t.Rows, []string{
-			itoa(y), itoa(c.both), itoa(c.sourceOnly), itoa(c.txOnly), itoa(c.neither), itoa(total),
-		})
-	}
-	final := cum[2023]
-	total := final.both + final.sourceOnly + final.txOnly + final.neither
-	t.Notes = append(t.Notes,
-		fmt.Sprintf("source availability %s (paper ~18%%), tx availability %s (paper ~53%% incl. proxies)",
-			pct(final.both+final.sourceOnly, total), pct(final.both+final.txOnly, total)),
-		"population scaled from 36M to the configured size; proportions are the reproduction target")
-	return t
+	return a.Figure2()
 }
 
 // Figure4 reproduces the cumulative proxy/logic pairs by source
 // availability, using the detector's verdicts.
 func Figure4(pop *dataset.Population, res *proxion.Result) *Table {
-	type counts struct{ both, logicOnly, proxyOnly, neither int }
-	cum := make(map[int]*counts)
-	for _, y := range years {
-		cum[y] = &counts{}
-	}
-	for _, rep := range res.Proxies() {
-		l := pop.ByAddr[rep.Address]
-		if l == nil {
-			continue
-		}
-		proxySrc := pop.Registry.HasSource(rep.Address)
-		logicSrc := pop.Registry.HasSource(rep.Logic)
-		for _, y := range years {
-			if y < l.Year {
-				continue
-			}
-			c := cum[y]
-			switch {
-			case proxySrc && logicSrc:
-				c.both++
-			case logicSrc:
-				c.logicOnly++
-			case proxySrc:
-				c.proxyOnly++
-			default:
-				c.neither++
-			}
-		}
-	}
-	t := &Table{
-		ID:     "Figure 4",
-		Title:  "Cumulative detected proxy/logic pairs by source availability",
-		Header: []string{"year", "both sources", "logic only", "proxy only", "neither", "total"},
-	}
-	for _, y := range years {
-		c := cum[y]
-		t.Rows = append(t.Rows, []string{
-			itoa(y), itoa(c.both), itoa(c.logicOnly), itoa(c.proxyOnly), itoa(c.neither),
-			itoa(c.both + c.logicOnly + c.proxyOnly + c.neither),
-		})
-	}
-	t.Notes = append(t.Notes,
-		"paper: ~90% of proxy contracts lack source; the 'logic only' and 'neither' series dominate")
-	return t
+	a := NewLandscape(pop.Chain, pop.Registry, nil)
+	a.replay(pop, res)
+	return a.Figure4()
 }
 
 // Table3 reproduces the collision counts per deployment year, plus the
 // duplicate share among function collisions.
 func Table3(pop *dataset.Population, det *proxion.Detector, res *proxion.Result) *Table {
-	funcByYear := make(map[int]int)
-	storByYear := make(map[int]int)
-	funcTotal, storTotal := 0, 0
-	dupFuncCollisions := 0
-	templateOfFunc := make(map[int]int) // TemplateID -> collision count
-
-	for _, pa := range res.Pairs {
-		l := pop.ByAddr[pa.Proxy]
-		if l == nil {
-			continue
-		}
-		if len(pa.Functions) > 0 {
-			funcByYear[l.Year]++
-			funcTotal++
-			templateOfFunc[l.TemplateID]++
-		}
-		if anyExploitableCols(pa.Storage) {
-			storByYear[l.Year]++
-			storTotal++
-		}
-	}
-	// Duplicate share: collisions whose proxy bytecode template appears
-	// more than once (the paper's 98.7% OwnableDelegateProxy clones).
-	for _, n := range templateOfFunc {
-		if n > 1 {
-			dupFuncCollisions += n
-		}
-	}
-
-	t := &Table{
-		ID:     "Table 3",
-		Title:  "Function and storage collisions by proxy deployment year",
-		Header: []string{"year", "function collisions", "storage collisions"},
-	}
-	for _, y := range years {
-		t.Rows = append(t.Rows, []string{itoa(y), itoa(funcByYear[y]), itoa(storByYear[y])})
-	}
-	t.Rows = append(t.Rows, []string{"total", itoa(funcTotal), itoa(storTotal)})
-	t.Notes = append(t.Notes,
-		fmt.Sprintf("duplicated-bytecode share of function collisions: %s (paper: 98.7%%)",
-			pct(dupFuncCollisions, funcTotal)),
-		"paper totals: 1,566,784 function and 3,022 storage collisions at 36M-contract scale")
-	return t
+	a := NewLandscape(pop.Chain, pop.Registry, det)
+	a.replay(pop, res)
+	return a.Table3()
 }
 
 // Figure5 reproduces the bytecode-uniqueness skew: how many distinct proxy
 // and logic bytecodes exist and how heavily the top templates dominate.
 func Figure5(pop *dataset.Population, res *proxion.Result) *Table {
-	proxyDupes := make(map[etypes.Hash]int)
-	logicDupes := make(map[etypes.Hash]int)
-	logicSeen := make(map[etypes.Address]struct{})
-	for _, rep := range res.Proxies() {
-		proxyDupes[etypes.Keccak(pop.Chain.Code(rep.Address))]++
-		if _, dup := logicSeen[rep.Logic]; !dup {
-			logicSeen[rep.Logic] = struct{}{}
-			logicDupes[etypes.Keccak(pop.Chain.Code(rep.Logic))]++
-		}
-	}
-	topShare := func(m map[etypes.Hash]int, k int) (int, int) {
-		var counts []int
-		total := 0
-		for _, n := range m {
-			counts = append(counts, n)
-			total += n
-		}
-		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
-		top := 0
-		for i := 0; i < k && i < len(counts); i++ {
-			top += counts[i]
-		}
-		return top, total
-	}
-	topProxies, totalProxies := topShare(proxyDupes, 3)
-
-	t := &Table{
-		ID:     "Figure 5",
-		Title:  "Bytecode uniqueness of detected proxies and logics",
-		Header: []string{"metric", "measured", "paper"},
-	}
-	t.Rows = append(t.Rows,
-		[]string{"proxy instances", itoa(totalProxies), "19,599,317"},
-		[]string{"unique proxy bytecodes", itoa(len(proxyDupes)), "96,420"},
-		[]string{"unique logic bytecodes", itoa(len(logicDupes)), "38,707"},
-		[]string{"top-3 proxy template share", pct(topProxies, totalProxies), "~42%"},
-	)
-	t.Notes = append(t.Notes,
-		"the top-3 templates model CoinTool_App, XENTorrent and OwnableDelegateProxy")
-	return t
+	a := NewLandscape(pop.Chain, pop.Registry, nil)
+	a.replay(pop, res)
+	return a.Figure5()
 }
 
 // Table4 reproduces the proxy design-standard split.
 func Table4(res *proxion.Result) *Table {
-	counts := make(map[proxion.Standard]int)
-	total := 0
+	a := NewLandscape(nil, nil, nil)
 	for _, rep := range res.Proxies() {
-		counts[rep.Standard]++
-		total++
+		a.observeStandard(rep)
 	}
-	t := &Table{
-		ID:     "Table 4",
-		Title:  "Proxy contracts by design standard",
-		Header: []string{"standard", "contracts", "ratio", "paper ratio"},
-	}
-	t.Rows = append(t.Rows,
-		[]string{"EIP-1167", itoa(counts[proxion.StandardEIP1167]), pct(counts[proxion.StandardEIP1167], total), "89.05%"},
-		[]string{"EIP-1822", itoa(counts[proxion.StandardEIP1822]), pct(counts[proxion.StandardEIP1822], total), "0.12%"},
-		[]string{"EIP-1967", itoa(counts[proxion.StandardEIP1967]), pct(counts[proxion.StandardEIP1967], total), "1.00%"},
-		[]string{"Others", itoa(counts[proxion.StandardOther]), pct(counts[proxion.StandardOther], total), "9.83%"},
-	)
-	t.Notes = append(t.Notes,
-		"diamond (EIP-2535) proxies are missed by emulation, as the paper documents")
-	return t
+	return a.Table4()
 }
 
 // Figure6 reproduces the upgrade-count distribution over storage-based
 // proxies, recovered with Algorithm 1.
 func Figure6(pop *dataset.Population, det *proxion.Detector, res *proxion.Result) *Table {
-	histogram := make(map[int]int)
-	upgraded, total, events, maxUp := 0, 0, 0, 0
-	for _, rep := range res.Proxies() {
-		if rep.Target != proxion.TargetStorage {
-			// Hard-coded proxies have exactly one logic forever.
-			histogram[0]++
-			total++
-			continue
-		}
-		n := det.UpgradeCount(rep.Address, rep.ImplSlot)
-		histogram[n]++
-		total++
-		if n > 0 {
-			upgraded++
-			events += n
-		}
-		if n > maxUp {
-			maxUp = n
-		}
-	}
-	t := &Table{
-		ID:     "Figure 6",
-		Title:  "Logic-contract upgrade counts per proxy (Algorithm 1)",
-		Header: []string{"upgrades", "proxies"},
-	}
-	var keys []int
-	for k := range histogram {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-	for _, k := range keys {
-		t.Rows = append(t.Rows, []string{itoa(k), itoa(histogram[k])})
-	}
-	t.Notes = append(t.Notes,
-		fmt.Sprintf("never upgraded: %s (paper: 99.7%%); upgrade events: %d; max upgrades: %d (paper tail reaches ~80)",
-			pct(total-upgraded, total), events, maxUp),
-	)
-	return t
+	a := NewLandscape(pop.Chain, pop.Registry, det)
+	a.replay(pop, res)
+	return a.Figure6()
 }

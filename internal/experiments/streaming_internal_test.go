@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/etypes"
+	"repro/internal/proxion"
+)
+
+// TestLandscapeMergePartitions: two aggregates built over interleaved
+// halves of a corpus merge into the same tables a single pass produces.
+// Figure 5's unique-logic row is the documented exception — logicSeen
+// dedups per partition — so the comparison covers everything else.
+func TestLandscapeMergePartitions(t *testing.T) {
+	pop := dataset.Generate(dataset.Config{Seed: 11, Contracts: 900})
+	det := proxion.NewDetector(pop.Chain)
+	res := det.AnalyzeAll(pop.Registry)
+
+	full := NewLandscape(pop.Chain, pop.Registry, det)
+	full.replay(pop, res)
+
+	repBy := make(map[etypes.Address]proxion.Report, len(res.Reports))
+	for _, rep := range res.Reports {
+		repBy[rep.Address] = rep
+	}
+	pairBy := make(map[etypes.Address]*proxion.PairAnalysis, len(res.Pairs))
+	for i := range res.Pairs {
+		pairBy[res.Pairs[i].Proxy] = &res.Pairs[i]
+	}
+
+	parts := [2]*Landscape{
+		NewLandscape(pop.Chain, pop.Registry, det),
+		NewLandscape(pop.Chain, pop.Registry, det),
+	}
+	for i, l := range pop.Labels {
+		it := proxion.Item{Report: repBy[l.Address]}
+		if pa, ok := pairBy[l.Address]; ok {
+			it.Pair = pa
+		}
+		parts[i%2].Observe(l, it)
+	}
+	parts[0].Merge(parts[1])
+
+	for name, pair := range map[string][2]*Table{
+		"Figure 2":      {parts[0].Figure2(), full.Figure2()},
+		"Figure 4":      {parts[0].Figure4(), full.Figure4()},
+		"Table 3":       {parts[0].Table3(), full.Table3()},
+		"Table 4":       {parts[0].Table4(), full.Table4()},
+		"Figure 6":      {parts[0].Figure6(), full.Figure6()},
+		"HiddenProxies": {parts[0].HiddenProxies(), full.HiddenProxies()},
+	} {
+		if !reflect.DeepEqual(pair[0], pair[1]) {
+			t.Errorf("%s: merged partitions diverge from single pass:\nmerged: %+v\nfull:   %+v", name, pair[0], pair[1])
+		}
+	}
+
+	// Figure 5's proxy rows still add up exactly across partitions.
+	got, want := parts[0].Figure5(), full.Figure5()
+	for _, i := range []int{0, 1, 3} {
+		if !reflect.DeepEqual(got.Rows[i], want.Rows[i]) {
+			t.Errorf("Figure 5 row %d: merged %v, full %v", i, got.Rows[i], want.Rows[i])
+		}
+	}
+}
+
+// TestSummaryBuilderMerge: builders fed disjoint interleaved item streams
+// merge into the batch summary.
+func TestSummaryBuilderMerge(t *testing.T) {
+	pop := dataset.Generate(dataset.Config{Seed: 11, Contracts: 900})
+	det := proxion.NewDetector(pop.Chain)
+	res := det.AnalyzeAll(pop.Registry)
+
+	pairBy := make(map[etypes.Address]*proxion.PairAnalysis, len(res.Pairs))
+	for i := range res.Pairs {
+		pairBy[res.Pairs[i].Proxy] = &res.Pairs[i]
+	}
+	parts := [2]*proxion.SummaryBuilder{proxion.NewSummaryBuilder(), proxion.NewSummaryBuilder()}
+	for i, rep := range res.Reports {
+		it := proxion.Item{Report: rep}
+		if pa, ok := pairBy[rep.Address]; ok {
+			it.Pair = pa
+		}
+		parts[i%2].Emit(it)
+	}
+	parts[0].Merge(parts[1])
+
+	want := proxion.Summarize(res)
+	want.Pipeline = nil
+	if got := parts[0].Summary(nil); !reflect.DeepEqual(got, want) {
+		t.Errorf("merged summary diverges:\nmerged: %+v\nbatch:  %+v", got, want)
+	}
+}

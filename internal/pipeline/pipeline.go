@@ -14,6 +14,7 @@ package pipeline
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -44,7 +45,10 @@ type Engine struct {
 	wg     sync.WaitGroup
 	stages []*Stage
 	start  time.Time
-	wall   time.Duration
+	// wall is the frozen run duration in nanoseconds (0 while running).
+	// Wait writes it and concurrent observers (live progress reporting,
+	// soak samplers) read it through Wall, so it must be atomic.
+	wall atomic.Int64
 }
 
 // New creates an empty engine and starts its wall clock.
@@ -77,13 +81,14 @@ func (e *Engine) Go(f func()) {
 // engine's wall clock.
 func (e *Engine) Wait() {
 	e.wg.Wait()
-	e.wall = time.Since(e.start)
+	e.wall.Store(int64(time.Since(e.start)))
 }
 
 // Wall returns the run's duration: live while running, frozen after Wait.
+// Safe to call from any goroutine while the pipeline runs.
 func (e *Engine) Wall() time.Duration {
-	if e.wall > 0 {
-		return e.wall
+	if w := e.wall.Load(); w > 0 {
+		return time.Duration(w)
 	}
 	return time.Since(e.start)
 }

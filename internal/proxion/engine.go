@@ -20,7 +20,8 @@ type resilienceSource interface {
 
 // AnalyzeOptions tunes the streaming analysis engine. The zero value
 // selects production defaults: every stage sized from GOMAXPROCS, the
-// bytecode-dedup cache on, no history stage.
+// bytecode-dedup cache on, no history stage, a 4096-contract reorder
+// window, unbounded verdict cache.
 type AnalyzeOptions struct {
 	// FilterWorkers, ProbeWorkers, ClassifyWorkers, HistoryWorkers and
 	// PairWorkers size each stage's pool; zero picks a default derived
@@ -34,17 +35,28 @@ type AnalyzeOptions struct {
 	// ChannelDepth bounds the inter-stage channels (default 4×GOMAXPROCS,
 	// minimum 16).
 	ChannelDepth int
+	// Window bounds the number of contracts in flight at once: fed but not
+	// yet emitted to the sink. Together with ChannelDepth and the worker
+	// counts it is the engine's whole memory bound — peak usage of a
+	// streaming run does not grow with corpus size. Default 4096.
+	Window int
+	// CacheCapacity bounds the bytecode-dedup verdict cache to at most this
+	// many distinct code hashes, evicted least-recently-used. Zero keeps
+	// the cache unbounded (every unique bytecode is remembered for the
+	// whole run — fine for batch runs, not for million-contract streams).
+	CacheCapacity int
 	// DisableDedup turns off the bytecode-dedup verdict cache, probing
 	// every address with a fresh emulation — the ablation mode.
 	DisableDedup bool
 	// WithHistory enables the logic-history stage: each storage proxy's
 	// full implementation history is recovered with Algorithm 1 and every
-	// historical pair is collision-analyzed into Result.Histories.
+	// historical pair is collision-analyzed into Result.Histories (or the
+	// Item.History field in streaming runs).
 	WithHistory bool
 }
 
 // The streaming engine's work-item types; idx is the contract's position
-// in the chain's deterministic order, which anchors result ordering.
+// in the source stream, which anchors result ordering.
 type (
 	feedItem struct {
 		idx  int
@@ -86,7 +98,7 @@ func (d *Detector) AnalyzeAll(sources SourceProvider) *Result {
 func (d *Detector) AnalyzeAllWithOptions(sources SourceProvider, opts AnalyzeOptions) *Result {
 	var addrs []etypes.Address
 	chain.CaptureReadError(func() { addrs = d.chain.Contracts() })
-	return d.analyze(addrs, sources, opts)
+	return d.analyze(SliceSource(addrs), sources, opts)
 }
 
 // AnalyzeSince runs the same streaming pipeline restricted to contracts
@@ -98,35 +110,45 @@ func (d *Detector) AnalyzeAllWithOptions(sources SourceProvider, opts AnalyzeOpt
 func (d *Detector) AnalyzeSince(height uint64, sources SourceProvider) *Result {
 	var all []etypes.Address
 	chain.CaptureReadError(func() { all = d.chain.Contracts() })
-	var addrs []etypes.Address
-	for _, addr := range all {
-		created := uint64(0)
-		unknown := chain.CaptureReadError(func() { created = d.chain.CreatedAt(addr) }) != nil
-		if unknown || created > height {
-			addrs = append(addrs, addr)
+	// Filter lazily inside the source so the CreatedAt reads overlap the
+	// pipeline instead of forming a serial pre-pass.
+	i := 0
+	src := SourceFunc(func() (etypes.Address, bool) {
+		for i < len(all) {
+			addr := all[i]
+			i++
+			created := uint64(0)
+			unknown := chain.CaptureReadError(func() { created = d.chain.CreatedAt(addr) }) != nil
+			if unknown || created > height {
+				return addr, true
+			}
 		}
-	}
-	return d.analyze(addrs, sources, AnalyzeOptions{})
+		return etypes.Address{}, false
+	})
+	return d.analyze(src, sources, AnalyzeOptions{})
 }
 
-// analyze is the one whole-chain analysis code path: every entry point
-// (full scans, incremental scans, experiments, the CLI) funnels here.
-func (d *Detector) analyze(addrs []etypes.Address, sources SourceProvider, opts AnalyzeOptions) *Result {
-	n := len(addrs)
-	reports := make([]Report, n)
-	pairSlots := make([]*PairAnalysis, n)
-	// Terminal read failures in the post-detection stages land in their own
-	// slot arrays — the report slot is owned by the classify stage, so
-	// concurrent history/pair failures must not write it — and are merged
-	// into the reports after the pipeline drains.
-	pairErrs := make([]*chain.ReadError, n)
-	var histSlots []*HistoricalAnalysis
-	var histErrs []*chain.ReadError
-	if opts.WithHistory {
-		histSlots = make([]*HistoricalAnalysis, n)
-		histErrs = make([]*chain.ReadError, n)
-	}
+// analyze is the collecting wrapper over AnalyzeStream that the
+// slice-returning entry points share: it runs the stream into a
+// CollectSink and packages the accumulated reports with the run snapshot.
+func (d *Detector) analyze(src AddressSource, sources SourceProvider, opts AnalyzeOptions) *Result {
+	sink := NewCollectSink()
+	snap := d.AnalyzeStream(src, sources, sink, opts)
+	res := sink.Result()
+	res.Stats = snap
+	return res
+}
 
+// AnalyzeStream is the one whole-chain analysis code path: every entry
+// point (full scans, incremental scans, experiments, the CLI) funnels
+// here. It pulls addresses from src, runs them through the staged
+// pipeline, and emits one finalized Item per contract to sink, in source
+// order. Memory is bounded end to end: the feeder blocks when
+// opts.Window contracts are in flight, every inter-stage channel is
+// bounded by opts.ChannelDepth, and nothing per-contract survives past
+// its emission — so a run over a million contracts peaks at the same
+// working set as a run over ten thousand.
+func (d *Detector) AnalyzeStream(src AddressSource, sources SourceProvider, sink ReportSink, opts AnalyzeOptions) *pipeline.Snapshot {
 	procs := runtime.GOMAXPROCS(0)
 	size := func(configured, def int) int {
 		if configured > 0 {
@@ -144,9 +166,17 @@ func (d *Detector) analyze(addrs []etypes.Address, sources SourceProvider, opts 
 			depth = 16
 		}
 	}
+	window := opts.Window
+	if window <= 0 {
+		window = 4096
+	}
+	if !opts.DisableDedup {
+		d.verdicts.setCapacity(opts.CacheCapacity)
+	}
 
 	eng := pipeline.New()
 	var stats pipeline.Stats
+	tracker := newStreamTracker(window, sink, &stats)
 	apiBefore := d.chain.APICalls()
 	var retriesBefore, tripsBefore int64
 	resil, hasResil := d.chain.(resilienceSource)
@@ -174,10 +204,18 @@ func (d *Detector) analyze(addrs []etypes.Address, sources SourceProvider, opts 
 		histCh = make(chan historyItem, depth)
 	}
 
+	// Feeder: one window slot per address — when the window is full the
+	// pull from src stops until the sink catches up (backpressure against
+	// generation/ingestion upstream).
 	eng.Go(func() {
-		for i, addr := range addrs {
+		for {
+			addr, ok := src.Next()
+			if !ok {
+				break
+			}
+			idx := tracker.acquire()
 			stats.Scanned.Add(1)
-			feedCh <- feedItem{idx: i, addr: addr}
+			feedCh <- feedItem{idx: idx, addr: addr}
 		}
 		close(feedCh)
 	})
@@ -188,16 +226,16 @@ func (d *Detector) analyze(addrs []etypes.Address, sources SourceProvider, opts 
 	pipeline.Run(eng, stFilter, feedCh, func(it feedItem) {
 		var code []byte
 		if re := chain.CaptureReadError(func() { code = d.chain.Code(it.addr) }); re != nil {
-			reports[it.idx] = unresolvedReport(it.addr, re)
+			tracker.deliverReport(it.idx, unresolvedReport(it.addr, re), 0)
 			return
 		}
 		switch {
 		case len(code) == 0:
 			stats.NoCode.Add(1)
-			reports[it.idx] = Report{Address: it.addr, Reason: "no code at address"}
+			tracker.deliverReport(it.idx, Report{Address: it.addr, Reason: "no code at address"}, 0)
 		case !disasm.ContainsOp(code, evm.DELEGATECALL):
 			stats.FilterRejected.Add(1)
-			reports[it.idx] = Report{Address: it.addr, Reason: "bytecode contains no DELEGATECALL opcode"}
+			tracker.deliverReport(it.idx, Report{Address: it.addr, Reason: "bytecode contains no DELEGATECALL opcode"}, 0)
 		default:
 			probeCh <- probeItem{idx: it.idx, addr: it.addr, code: code}
 		}
@@ -231,15 +269,24 @@ func (d *Detector) analyze(addrs []etypes.Address, sources SourceProvider, opts 
 
 	// Stage 3 — classification (Table 4) and fan-out: a detected proxy
 	// flows straight into pair analysis (and optionally history recovery)
-	// with no barrier.
+	// with no barrier. The report is handed to the tracker BEFORE the
+	// fan-out sends, declaring how many sub-analyses are outstanding, so
+	// the item cannot be emitted incomplete.
 	pipeline.Run(eng, stClassify, classifyCh, func(it classifyItem) {
 		rep := it.rep
 		if rep.IsProxy {
 			rep.Standard = classify(it.code, rep)
 			stats.ProxiesDetected.Add(1)
 		}
-		reports[it.idx] = rep
+		fanout := 0
 		if rep.IsProxy && !rep.Logic.IsZero() {
+			fanout = 1
+			if histCh != nil {
+				fanout = 2
+			}
+		}
+		tracker.deliverReport(it.idx, rep, fanout)
+		if fanout > 0 {
 			if histCh != nil {
 				histCh <- historyItem{idx: it.idx, rep: rep}
 			}
@@ -253,17 +300,16 @@ func (d *Detector) analyze(addrs []etypes.Address, sources SourceProvider, opts 
 	})
 
 	// Stage 4 (optional) — logic-history recovery via Algorithm 1. A read
-	// failure leaves the history slot empty and is merged into the report
-	// after the pipeline drains.
+	// failure degrades the contract's report to Unresolved at emission.
 	if opts.WithHistory {
 		pipeline.Run(eng, stHistory, histCh, func(it historyItem) {
 			var h HistoricalAnalysis
 			if re := chain.CaptureReadError(func() { h = d.AnalyzePairHistory(it.rep, sources) }); re != nil {
-				histErrs[it.idx] = re
+				tracker.deliverHistory(it.idx, nil, re)
 				return
 			}
-			histSlots[it.idx] = &h
 			stats.HistoriesRecovered.Add(1)
+			tracker.deliverHistory(it.idx, &h, nil)
 		}, nil)
 	}
 
@@ -271,11 +317,11 @@ func (d *Detector) analyze(addrs []etypes.Address, sources SourceProvider, opts 
 	pipeline.Run(eng, stPair, pairCh, func(it pairItem) {
 		var pa PairAnalysis
 		if re := chain.CaptureReadError(func() { pa = d.AnalyzePair(it.proxy, it.logic, sources) }); re != nil {
-			pairErrs[it.idx] = re
+			tracker.deliverPair(it.idx, nil, re)
 			return
 		}
-		pairSlots[it.idx] = &pa
 		stats.PairsAnalyzed.Add(1)
+		tracker.deliverPair(it.idx, &pa, nil)
 	}, nil)
 
 	eng.Wait()
@@ -285,35 +331,5 @@ func (d *Detector) analyze(addrs []etypes.Address, sources SourceProvider, opts 
 		stats.Retries.Add(r - retriesBefore)
 		stats.BreakerTrips.Add(t - tripsBefore)
 	}
-
-	// Merge post-detection failures and count every contract the run could
-	// not fully resolve: nothing is dropped from totals, each degraded
-	// contract is explicitly marked instead.
-	for i := range reports {
-		if re := pairErrs[i]; re != nil {
-			markUnresolved(&reports[i], re)
-		}
-		if histErrs != nil {
-			if re := histErrs[i]; re != nil {
-				markUnresolved(&reports[i], re)
-			}
-		}
-		if reports[i].Unresolved {
-			stats.Unresolved.Add(1)
-		}
-	}
-
-	res := &Result{Reports: reports}
-	for _, pa := range pairSlots {
-		if pa != nil {
-			res.Pairs = append(res.Pairs, *pa)
-		}
-	}
-	for _, h := range histSlots {
-		if h != nil {
-			res.Histories = append(res.Histories, *h)
-		}
-	}
-	res.Stats = eng.Snapshot(&stats)
-	return res
+	return eng.Snapshot(&stats)
 }

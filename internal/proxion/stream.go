@@ -1,0 +1,225 @@
+package proxion
+
+import (
+	"sync"
+
+	"repro/internal/chain"
+	"repro/internal/etypes"
+	"repro/internal/pipeline"
+)
+
+// AddressSource is the streaming input of an analysis run: the engine's
+// feeder pulls one address at a time, so a run can analyze a corpus that
+// is generated, paged in, or tailed from a node without ever existing as
+// a slice in memory. Next is called from a single feeder goroutine; it
+// may block (that is the upstream half of the pipeline's backpressure).
+type AddressSource interface {
+	// Next returns the next address and true, or ok=false at end of stream.
+	Next() (addr etypes.Address, ok bool)
+}
+
+// SourceFunc adapts a function to an AddressSource.
+type SourceFunc func() (etypes.Address, bool)
+
+// Next implements AddressSource.
+func (f SourceFunc) Next() (etypes.Address, bool) { return f() }
+
+// SliceSource streams a materialized address slice — the compatibility
+// path that keeps AnalyzeAll/AnalyzeSince working over Chain.Contracts().
+func SliceSource(addrs []etypes.Address) AddressSource {
+	i := 0
+	return SourceFunc(func() (etypes.Address, bool) {
+		if i >= len(addrs) {
+			return etypes.Address{}, false
+		}
+		a := addrs[i]
+		i++
+		return a, true
+	})
+}
+
+// Item is one contract's finalized analysis: the detection report plus
+// the collision/history analyses that hang off it, delivered to a
+// ReportSink only when every stage that touches the contract is done.
+// Index is the contract's position in the source stream — items arrive
+// at the sink strictly in index order.
+type Item struct {
+	Index   int
+	Report  Report
+	Pair    *PairAnalysis
+	History *HistoricalAnalysis
+}
+
+// ReportSink receives finalized items. Emit is called serially, in source
+// order, from pipeline worker goroutines — implementations need no
+// locking of their own but must not block for long: a slow sink stalls
+// the bounded window and, through it, the whole pipeline (that is the
+// downstream half of backpressure).
+type ReportSink interface {
+	Emit(it Item)
+}
+
+// SinkFunc adapts a function to a ReportSink.
+type SinkFunc func(Item)
+
+// Emit implements ReportSink.
+func (f SinkFunc) Emit(it Item) { f(it) }
+
+// CollectSink accumulates every item into a *Result — the compatibility
+// sink behind the slice-returning entry points and tests. Its memory is
+// O(corpus), which is exactly what streaming callers avoid by bringing
+// their own sink.
+type CollectSink struct {
+	res Result
+}
+
+// NewCollectSink returns an empty collector.
+func NewCollectSink() *CollectSink { return &CollectSink{} }
+
+// Emit implements ReportSink.
+func (c *CollectSink) Emit(it Item) {
+	c.res.Reports = append(c.res.Reports, it.Report)
+	if it.Pair != nil {
+		c.res.Pairs = append(c.res.Pairs, *it.Pair)
+	}
+	if it.History != nil {
+		c.res.Histories = append(c.res.Histories, *it.History)
+	}
+}
+
+// Result returns the accumulated result. Call after the run has finished.
+func (c *CollectSink) Result() *Result { return &c.res }
+
+// streamTracker is the bounded reorder window between the pipeline's
+// unordered completions and the sink's ordered emissions. It enforces the
+// run's memory bound end to end:
+//
+//   - the feeder acquires one window slot per fed address (blocking when
+//     the window is full — backpressure against the source), and
+//   - a slot is released only when its item has been emitted, so
+//     in-flight + completed-but-unemitted items never exceed the window.
+//
+// Peak memory of a streaming run is therefore a function of the window
+// size, channel depths and worker counts — never of corpus length.
+type streamTracker struct {
+	sink ReportSink
+
+	// sem holds one token per window slot.
+	sem chan struct{}
+
+	mu       sync.Mutex
+	slots    []trackSlot // ring buffer, indexed by item index % len
+	base     int         // lowest index not yet emitted
+	next     int         // next index to assign (feeder only, under mu)
+	emitting bool        // a goroutine is currently draining ready slots
+
+	stats *pipeline.Stats // run counters; Unresolved bumped at emission
+}
+
+// trackSlot is one in-flight contract.
+type trackSlot struct {
+	rep  Report
+	pair *PairAnalysis
+	hist *HistoricalAnalysis
+	// outstanding counts fanned-out sub-analyses (pair, history) still
+	// running; the slot is complete when the report landed and this is 0.
+	outstanding int
+	hasReport   bool
+}
+
+func newStreamTracker(window int, sink ReportSink, stats *pipeline.Stats) *streamTracker {
+	return &streamTracker{
+		sink:  sink,
+		sem:   make(chan struct{}, window),
+		slots: make([]trackSlot, window),
+		stats: stats,
+	}
+}
+
+// acquire blocks until a window slot is free and returns the item index
+// assigned to the next fed address. Feeder-only.
+func (t *streamTracker) acquire() int {
+	t.sem <- struct{}{}
+	t.mu.Lock()
+	idx := t.next
+	t.next++
+	t.mu.Unlock()
+	return idx
+}
+
+// slot returns the ring slot for idx. Callers hold t.mu.
+func (t *streamTracker) slot(idx int) *trackSlot {
+	return &t.slots[idx%len(t.slots)]
+}
+
+// deliverReport lands the detection report for idx and declares how many
+// sub-analyses (pair + history) are still outstanding. It must be called
+// BEFORE the fan-out sends so the slot can never look complete early.
+func (t *streamTracker) deliverReport(idx int, rep Report, outstanding int) {
+	t.mu.Lock()
+	s := t.slot(idx)
+	s.rep = rep
+	s.hasReport = true
+	s.outstanding += outstanding
+	t.drainLocked()
+}
+
+// deliverPair lands one pair analysis (or its terminal read failure).
+func (t *streamTracker) deliverPair(idx int, pa *PairAnalysis, re *chain.ReadError) {
+	t.mu.Lock()
+	s := t.slot(idx)
+	if re != nil {
+		markUnresolved(&s.rep, re)
+	} else {
+		s.pair = pa
+	}
+	s.outstanding--
+	t.drainLocked()
+}
+
+// deliverHistory lands one history analysis (or its terminal failure).
+func (t *streamTracker) deliverHistory(idx int, h *HistoricalAnalysis, re *chain.ReadError) {
+	t.mu.Lock()
+	s := t.slot(idx)
+	if re != nil {
+		markUnresolved(&s.rep, re)
+	} else {
+		s.hist = h
+	}
+	s.outstanding--
+	t.drainLocked()
+}
+
+// drainLocked emits every contiguous completed slot starting at base, in
+// order, releasing window tokens as it goes. Called with t.mu held;
+// releases and reacquires it around sink calls so workers delivering
+// other items are not serialized behind the sink. The emitting flag keeps
+// emission single-threaded (and therefore ordered) without a dedicated
+// emitter goroutine.
+func (t *streamTracker) drainLocked() {
+	if t.emitting {
+		t.mu.Unlock()
+		return
+	}
+	t.emitting = true
+	for {
+		s := t.slot(t.base)
+		if !s.hasReport || s.outstanding != 0 {
+			break
+		}
+		it := Item{Index: t.base, Report: s.rep, Pair: s.pair, History: s.hist}
+		*s = trackSlot{} // reset for reuse before the slot index recycles
+		t.base++
+		t.mu.Unlock()
+
+		if it.Report.Unresolved && t.stats != nil {
+			t.stats.Unresolved.Add(1)
+		}
+		t.sink.Emit(it)
+		<-t.sem // release the window slot only after emission
+
+		t.mu.Lock()
+	}
+	t.emitting = false
+	t.mu.Unlock()
+}

@@ -1,0 +1,176 @@
+package proxion_test
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/etypes"
+	"repro/internal/proxion"
+)
+
+// TestAnalyzeStreamMatchesBatch: the streaming entry point with a
+// collecting sink must reproduce AnalyzeAll exactly — same reports, same
+// order, same pairs — across window sizes small enough to force heavy
+// reorder-buffer churn.
+func TestAnalyzeStreamMatchesBatch(t *testing.T) {
+	pop := dataset.Generate(dataset.Config{Seed: 7, Contracts: 400})
+	want := proxion.NewDetector(pop.Chain).AnalyzeAll(pop.Registry)
+	want.Stats = nil
+
+	for _, window := range []int{1, 3, 64, 4096} {
+		sink := proxion.NewCollectSink()
+		d := proxion.NewDetector(pop.Chain)
+		d.AnalyzeStream(proxion.SliceSource(pop.Chain.Contracts()), pop.Registry, sink,
+			proxion.AnalyzeOptions{Window: window})
+		got := sink.Result()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("window %d: streamed result diverges from AnalyzeAll", window)
+		}
+	}
+}
+
+// TestAnalyzeStreamEmitsInSourceOrder: items must reach the sink in
+// strictly increasing index order even with a tiny reorder window and a
+// wide worker pool racing completions.
+func TestAnalyzeStreamEmitsInSourceOrder(t *testing.T) {
+	pop := dataset.Generate(dataset.Config{Seed: 13, Contracts: 500})
+	next := 0
+	sink := proxion.SinkFunc(func(it proxion.Item) {
+		if it.Index != next {
+			t.Errorf("emitted index %d, want %d", it.Index, next)
+		}
+		next++
+	})
+	proxion.NewDetector(pop.Chain).AnalyzeStream(
+		proxion.SliceSource(pop.Chain.Contracts()), pop.Registry, sink,
+		proxion.AnalyzeOptions{Window: 4, ProbeWorkers: 8, PairWorkers: 8})
+	if want := len(pop.Chain.Contracts()); next != want {
+		t.Fatalf("emitted %d items, want %d", next, want)
+	}
+}
+
+// TestAnalyzeStreamWindowBoundsInFlight is the backpressure contract: the
+// number of addresses pulled from the source but not yet emitted to the
+// sink never exceeds the window (+1 for the address the feeder holds
+// while waiting on a slot). A deliberately slow sink forces the pipeline
+// to run window-limited the whole time.
+func TestAnalyzeStreamWindowBoundsInFlight(t *testing.T) {
+	pop := dataset.Generate(dataset.Config{Seed: 5, Contracts: 300})
+	addrs := pop.Chain.Contracts()
+	const window = 8
+
+	var pulled, emitted atomic.Int64
+	i := 0
+	src := proxion.SourceFunc(func() (etypes.Address, bool) {
+		if i >= len(addrs) {
+			return etypes.Address{}, false
+		}
+		a := addrs[i]
+		i++
+		pulled.Add(1)
+		return a, true
+	})
+	maxInFlight := int64(0)
+	sink := proxion.SinkFunc(func(proxion.Item) {
+		if f := pulled.Load() - emitted.Load(); f > maxInFlight {
+			maxInFlight = f
+		}
+		if emitted.Load()%50 == 0 {
+			time.Sleep(2 * time.Millisecond) // let upstream run ahead if it can
+		}
+		emitted.Add(1)
+	})
+
+	proxion.NewDetector(pop.Chain).AnalyzeStream(src, pop.Registry, sink,
+		proxion.AnalyzeOptions{Window: window})
+	if emitted.Load() != int64(len(addrs)) {
+		t.Fatalf("emitted %d, want %d", emitted.Load(), len(addrs))
+	}
+	if maxInFlight > window+1 {
+		t.Fatalf("in-flight reached %d, window bound is %d", maxInFlight, window+1)
+	}
+}
+
+// TestAnalyzeStreamBoundedCacheSameVerdicts: capping the verdict cache
+// changes hit/miss accounting, never analysis output. A capacity far
+// below the landscape's unique-bytecode count must still yield the exact
+// batch result.
+func TestAnalyzeStreamBoundedCacheSameVerdicts(t *testing.T) {
+	pop := dataset.Generate(dataset.Config{Seed: 29, Contracts: 500})
+	want := proxion.NewDetector(pop.Chain).AnalyzeAll(pop.Registry)
+	want.Stats = nil
+
+	d := proxion.NewDetector(pop.Chain)
+	got := d.AnalyzeAllWithOptions(pop.Registry, proxion.AnalyzeOptions{CacheCapacity: 2})
+	scanned := got.Stats.Contracts
+	hits, emuls := got.Stats.CacheHits, got.Stats.Emulations
+	got.Stats = nil
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("bounded verdict cache changed analysis output")
+	}
+	if scanned != int64(len(want.Reports)) {
+		t.Fatalf("scanned %d, want %d", scanned, len(want.Reports))
+	}
+	// Accounting stays complete even as eviction shifts the hit/miss split.
+	probed := hits + emuls
+	wantProbed := int64(0)
+	for _, rep := range want.Reports {
+		if rep.HasDelegateCall || rep.IsProxy {
+			wantProbed++
+		}
+	}
+	if probed < wantProbed {
+		t.Fatalf("hits+emulations = %d, fewer than %d probed contracts", probed, wantProbed)
+	}
+}
+
+// TestAnalyzeStreamWithHistory checks fan-out refcounting on the widest
+// item shape: with the history stage on, each proxy item must arrive with
+// both its pair and its history attached, and non-proxies with neither.
+func TestAnalyzeStreamWithHistory(t *testing.T) {
+	pop := dataset.Generate(dataset.Config{Seed: 17, Contracts: 300})
+	want := proxion.NewDetector(pop.Chain).
+		AnalyzeAllWithOptions(pop.Registry, proxion.AnalyzeOptions{WithHistory: true})
+	want.Stats = nil
+
+	sink := proxion.NewCollectSink()
+	var items []proxion.Item
+	tee := proxion.SinkFunc(func(it proxion.Item) {
+		items = append(items, it)
+		sink.Emit(it)
+	})
+	proxion.NewDetector(pop.Chain).AnalyzeStream(
+		proxion.SliceSource(pop.Chain.Contracts()), pop.Registry, tee,
+		proxion.AnalyzeOptions{WithHistory: true, Window: 16})
+	got := sink.Result()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("streamed with-history result diverges from batch")
+	}
+	for _, it := range items {
+		analyzed := it.Report.IsProxy && !it.Report.Logic.IsZero() && !it.Report.Unresolved
+		if analyzed && (it.Pair == nil || it.History == nil) {
+			t.Fatalf("proxy item %d emitted incomplete: pair=%v history=%v",
+				it.Index, it.Pair != nil, it.History != nil)
+		}
+		if !it.Report.IsProxy && (it.Pair != nil || it.History != nil) {
+			t.Fatalf("non-proxy item %d carries sub-analyses", it.Index)
+		}
+	}
+}
+
+// TestAnalyzeStreamEmptySource: a source that is empty from the first
+// pull completes cleanly with zero emissions.
+func TestAnalyzeStreamEmptySource(t *testing.T) {
+	pop := dataset.Generate(dataset.Config{Seed: 1, Contracts: 20})
+	count := 0
+	snap := proxion.NewDetector(pop.Chain).AnalyzeStream(
+		proxion.SliceSource(nil), pop.Registry,
+		proxion.SinkFunc(func(proxion.Item) { count++ }),
+		proxion.AnalyzeOptions{})
+	if count != 0 || snap.Contracts != 0 {
+		t.Fatalf("empty source: emitted=%d scanned=%d, want 0/0", count, snap.Contracts)
+	}
+}

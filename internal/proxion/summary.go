@@ -42,44 +42,98 @@ type Summary struct {
 	Pipeline *pipeline.Snapshot `json:"pipeline,omitempty"`
 }
 
-// Summarize folds a Result into a Summary.
-func Summarize(res *Result) Summary {
-	s := Summary{
-		Contracts: len(res.Reports),
-		Standards: make(map[string]int),
-		Pipeline:  res.Stats,
+// SummaryBuilder folds analysis items into a Summary incrementally — the
+// streaming replacement for materializing a Result first. It implements
+// ReportSink, so it can be handed to AnalyzeStream directly; its state is
+// a fixed handful of counters, independent of corpus size, and builders
+// from partitioned runs combine with Merge.
+type SummaryBuilder struct {
+	s Summary
+}
+
+// NewSummaryBuilder returns an empty builder.
+func NewSummaryBuilder() *SummaryBuilder {
+	return &SummaryBuilder{s: Summary{Standards: make(map[string]int)}}
+}
+
+// Emit implements ReportSink: one finalized item folds into the counters.
+func (b *SummaryBuilder) Emit(it Item) {
+	b.observeReport(it.Report)
+	if it.Pair != nil {
+		b.observePair(*it.Pair)
 	}
+}
+
+func (b *SummaryBuilder) observeReport(rep Report) {
+	b.s.Contracts++
+	if rep.EmulationErr != nil {
+		b.s.EmulationErrors++
+	}
+	if rep.Unresolved {
+		b.s.Unresolved++
+	}
+	if !rep.IsProxy {
+		return
+	}
+	b.s.Proxies++
+	b.s.Standards[rep.Standard.String()]++
+	switch rep.Target {
+	case TargetStorage:
+		b.s.TargetStorage++
+	case TargetHardcoded:
+		b.s.TargetHardcoded++
+	}
+}
+
+func (b *SummaryBuilder) observePair(pa PairAnalysis) {
+	if len(pa.Functions) > 0 {
+		b.s.PairsWithFunctionCollisions++
+	}
+	if len(pa.Storage) > 0 {
+		b.s.PairsWithStorageCollisions++
+	}
+	if pa.ExploitVerified {
+		b.s.VerifiedExploits++
+	}
+}
+
+// Merge folds another builder's counts into this one. Builders observing
+// disjoint partitions of a corpus merge into the same summary a single
+// pass would produce.
+func (b *SummaryBuilder) Merge(o *SummaryBuilder) {
+	b.s.Contracts += o.s.Contracts
+	b.s.Proxies += o.s.Proxies
+	for k, v := range o.s.Standards {
+		b.s.Standards[k] += v
+	}
+	b.s.TargetStorage += o.s.TargetStorage
+	b.s.TargetHardcoded += o.s.TargetHardcoded
+	b.s.EmulationErrors += o.s.EmulationErrors
+	b.s.Unresolved += o.s.Unresolved
+	b.s.PairsWithFunctionCollisions += o.s.PairsWithFunctionCollisions
+	b.s.PairsWithStorageCollisions += o.s.PairsWithStorageCollisions
+	b.s.VerifiedExploits += o.s.VerifiedExploits
+}
+
+// Summary returns the aggregate, attaching the run's pipeline snapshot
+// (nil is fine).
+func (b *SummaryBuilder) Summary(snap *pipeline.Snapshot) Summary {
+	s := b.s
+	s.Pipeline = snap
+	return s
+}
+
+// Summarize folds a Result into a Summary — the batch wrapper over the
+// incremental builder.
+func Summarize(res *Result) Summary {
+	b := NewSummaryBuilder()
 	for _, rep := range res.Reports {
-		if rep.EmulationErr != nil {
-			s.EmulationErrors++
-		}
-		if rep.Unresolved {
-			s.Unresolved++
-		}
-		if !rep.IsProxy {
-			continue
-		}
-		s.Proxies++
-		s.Standards[rep.Standard.String()]++
-		switch rep.Target {
-		case TargetStorage:
-			s.TargetStorage++
-		case TargetHardcoded:
-			s.TargetHardcoded++
-		}
+		b.observeReport(rep)
 	}
 	for _, pa := range res.Pairs {
-		if len(pa.Functions) > 0 {
-			s.PairsWithFunctionCollisions++
-		}
-		if len(pa.Storage) > 0 {
-			s.PairsWithStorageCollisions++
-		}
-		if pa.ExploitVerified {
-			s.VerifiedExploits++
-		}
+		b.observePair(pa)
 	}
-	return s
+	return b.Summary(res.Stats)
 }
 
 // ProxyShare returns the proxy fraction of the analyzed population.

@@ -1,6 +1,7 @@
 package proxion
 
 import (
+	"container/list"
 	"sync"
 
 	"repro/internal/etypes"
@@ -25,16 +26,48 @@ import (
 // "guard slots": pause flags, initializer bits, owner checks) match the
 // values the verdict was recorded under — duplicates in a different guard
 // state are re-emulated and cached under their own fingerprint.
+// The cache runs in one of two modes. Unbounded (capacity 0, the default)
+// remembers every distinct bytecode for the whole run — right for batch
+// scans, where uniques number in the thousands. Bounded (capacity > 0)
+// keeps at most capacity entries, evicting the least recently used; a
+// streaming landscape run uses it so the cache's footprint, like every
+// other layer, is a configured constant rather than a function of corpus
+// size. Eviction trades determinism for the bound: a re-encountered
+// evicted bytecode is re-emulated (a miss the unbounded cache would have
+// served), so hit counts under eviction depend on scheduling.
 type verdictCache struct {
-	mu sync.Mutex
-	m  map[etypes.Hash]*codeVerdict
+	mu       sync.Mutex
+	m        map[etypes.Hash]*codeVerdict
+	capacity int
+	// order tracks recency front-to-back (front = most recent); each
+	// element's Value is the etypes.Hash key. elems indexes into it.
+	order     *list.List
+	elems     map[etypes.Hash]*list.Element
+	evictions int64
 }
 
 func newVerdictCache() *verdictCache {
-	return &verdictCache{m: make(map[etypes.Hash]*codeVerdict)}
+	return &verdictCache{
+		m:     make(map[etypes.Hash]*codeVerdict),
+		order: list.New(),
+		elems: make(map[etypes.Hash]*list.Element),
+	}
 }
 
-// entry returns the (possibly fresh) record for one bytecode hash.
+// setCapacity switches the cache between unbounded (n <= 0) and bounded
+// modes, evicting immediately if the cache already exceeds the new bound.
+func (c *verdictCache) setCapacity(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.capacity = n
+	c.evictLocked()
+}
+
+// entry returns the (possibly fresh) record for one bytecode hash,
+// marking it most recently used.
 func (c *verdictCache) entry(codeHash etypes.Hash) *codeVerdict {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -42,9 +75,73 @@ func (c *verdictCache) entry(codeHash etypes.Hash) *codeVerdict {
 	if !ok {
 		e = &codeVerdict{}
 		c.m[codeHash] = e
+		c.elems[codeHash] = c.order.PushFront(codeHash)
+		c.evictLocked()
+	} else {
+		c.order.MoveToFront(c.elems[codeHash])
 	}
 	return e
 }
+
+// invalidate drops the record for one bytecode hash, if present. The next
+// duplicate of that code re-emulates and records fresh — the remedy for a
+// verdict known to be stale (e.g. after out-of-band storage surgery on
+// the recording address) or poisoned.
+func (c *verdictCache) invalidate(codeHash etypes.Hash) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.elems[codeHash]; ok {
+		c.order.Remove(el)
+		delete(c.elems, codeHash)
+	}
+	delete(c.m, codeHash)
+}
+
+// evictLocked drops least-recently-used entries until the cache fits its
+// capacity. Callers hold c.mu. A goroutine mid-recording on an evicted
+// entry still holds its *codeVerdict and finishes harmlessly into the
+// orphan; the next duplicate simply re-emulates under a fresh entry.
+func (c *verdictCache) evictLocked() {
+	if c.capacity <= 0 {
+		return
+	}
+	for len(c.m) > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			return
+		}
+		key := back.Value.(etypes.Hash)
+		c.order.Remove(back)
+		delete(c.elems, key)
+		delete(c.m, key)
+		c.evictions++
+	}
+}
+
+// len returns the number of cached bytecodes.
+func (c *verdictCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// evictionCount returns the total evictions so far.
+func (c *verdictCache) evictionCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// CacheEvictions returns how many verdict-cache entries a bounded run has
+// evicted so far. Always zero in unbounded mode. Deliberately surfaced
+// outside the pipeline counter set: eviction totals depend on worker
+// scheduling, and the deterministic counters are compared byte-for-byte
+// by the bench regression gate.
+func (d *Detector) CacheEvictions() int64 { return d.verdicts.evictionCount() }
+
+// InvalidateVerdict drops the cached verdict for one runtime bytecode
+// hash; subsequent duplicates re-emulate fresh.
+func (d *Detector) InvalidateVerdict(codeHash etypes.Hash) { d.verdicts.invalidate(codeHash) }
 
 // codeVerdict is the memoized detection state of one distinct runtime
 // bytecode. The first emulation (under once) records which guard slots the
