@@ -2,7 +2,7 @@
 # push, `make fuzz` is the scheduled deep run, `make bench-gate` is the
 # pull-request performance gate.
 
-.PHONY: build vet test short race bench bench-gate bench-baseline chaos ci fuzz soak
+.PHONY: build vet test short race bench bench-gate bench-baseline chaos ci fuzz soak serve
 
 # Per-target budget for the native fuzz engines in `make fuzz`.
 FUZZTIME ?= 60s
@@ -47,6 +47,14 @@ bench-gate:
 # then commit bench/baseline.json with an explanation of what moved).
 bench-baseline:
 	go run ./cmd/proxbench -quick -repeats 3 -out bench/baseline.json
+
+# Service gate: the proxiond stack (verdict store + sharded serve layer)
+# under the race detector — crash/restart recovery, K-concurrent
+# coalescing, the shard-concurrency matrix, and the in-process loadtest.
+# LOADTEST_REPORT (a path) makes the loadtest write its p50/p99 JSON
+# artifact; the nightly job raises LOADTEST_REQUESTS/LOADTEST_CONCURRENCY.
+serve:
+	LOADTEST_REPORT=$(LOADTEST_REPORT) go test -race ./internal/store ./internal/serve/... -count=1 -timeout 20m
 
 # Chaos matrix under the race detector: every fault profile x pinned seed
 # through the whole pipeline, plus the fault-parity oracle layers and the

@@ -1,0 +1,230 @@
+// Command proxiond runs the analysis pipeline as a long-lived service:
+// a sharded scan server over a generated chain snapshot, answering
+// verdict and collision queries over HTTP and persisting every verdict
+// to a disk store so restarts are warm.
+//
+// Usage:
+//
+//	proxiond [-addr :8547] [-contracts N] [-seed S] [-shards N]
+//	         [-store DIR] [-window N] [-cache-capacity N]
+//	         [-resilient] [-faults PROFILE] [-fault-seed S] [-fault-depth D]
+//	         [-retries N] [-rpc-timeout D] [-backoff D] [-inflight N]
+//	         [-loadtest] [-loadtest-requests N] [-loadtest-concurrency N]
+//
+// With -loadtest the daemon self-drives: it starts the server, runs the
+// built-in load harness against it, prints the JSON report, and exits —
+// the one-command smoke/benchmark mode.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/chain"
+	"repro/internal/dataset"
+	"repro/internal/faultchain"
+	"repro/internal/serve"
+	"repro/internal/serve/loadtest"
+	"repro/internal/store"
+)
+
+func profileNames() string {
+	var names []string
+	for _, p := range faultchain.Profiles() {
+		names = append(names, p.Name)
+	}
+	return strings.Join(append(names, faultchain.Outage().Name), ", ")
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "proxiond:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8547", "HTTP listen address")
+	contracts := flag.Int("contracts", 4000, "population size to generate and serve")
+	seed := flag.Int64("seed", 1, "generation seed")
+	shards := flag.Int("shards", 4, "number of parallel analysis shards")
+	storeDir := flag.String("store", "", "verdict store directory (empty = no persistence)")
+	segBytes := flag.Int64("segment-bytes", 0, "verdict store segment size (0 = default)")
+	window := flag.Int("window", 0, "per-shard in-flight window (0 = engine default)")
+	cacheCap := flag.Int("cache-capacity", 0, "per-shard verdict-cache LRU bound (0 = unbounded)")
+	resilient := flag.Bool("resilient", false, "route node reads through the resilient client even with faults off")
+	faults := flag.String("faults", "off", "fault-injection profile: off, "+profileNames())
+	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed")
+	faultDepth := flag.Int("fault-depth", 0, "override the profile's fault depth (0 keeps the profile default)")
+	retries := flag.Int("retries", 0, "max retries per node read (0 = client default)")
+	rpcTimeout := flag.Duration("rpc-timeout", 0, "per-read timeout (0 = client default)")
+	backoff := flag.Duration("backoff", 0, "base retry backoff (0 = client default)")
+	inflight := flag.Int("inflight", 0, "max concurrent node reads (0 = client default)")
+	verbose := flag.Bool("v", false, "log every request outcome summary on shutdown")
+	selfLoad := flag.Bool("loadtest", false, "start, self-drive the load harness, print the report, exit")
+	loadReqs := flag.Int("loadtest-requests", 2048, "loadtest: total requests")
+	loadConc := flag.Int("loadtest-concurrency", 16, "loadtest: concurrent workers")
+	loadOut := flag.String("loadtest-report", "", "loadtest: also write the JSON report to this path")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "generating %d-contract chain snapshot (seed %d)...\n", *contracts, *seed)
+	pop := dataset.Generate(dataset.Config{Seed: *seed, Contracts: *contracts})
+	fmt.Fprintf(os.Stderr, "chain height %d, %d contracts alive\n",
+		pop.Chain.CurrentBlock(), len(pop.Chain.Contracts()))
+
+	// Per-shard readers: each shard gets its own resilient client so one
+	// shard's circuit breaker never gates another's reads.
+	cfg := serve.Config{
+		Sources:       pop.Registry,
+		Shards:        *shards,
+		StoreDir:      *storeDir,
+		StoreOptions:  store.Options{SegmentBytes: *segBytes},
+		Window:        *window,
+		CacheCapacity: *cacheCap,
+	}
+	if *faults != "off" || *resilient {
+		copts := faultchain.Options{
+			MaxRetries:  *retries,
+			Timeout:     *rpcTimeout,
+			BackoffBase: *backoff,
+			MaxInFlight: *inflight,
+		}
+		var prof faultchain.Profile
+		injecting := false
+		if *faults != "off" {
+			p, ok := faultchain.ProfileByName(*faults)
+			if !ok {
+				return fmt.Errorf("unknown fault profile %q (have: off, %s)", *faults, profileNames())
+			}
+			if *faultDepth > 0 {
+				p.Depth = *faultDepth
+			}
+			prof, injecting = p, true
+			fmt.Fprintf(os.Stderr, "injecting faults: profile %s, seed %d, depth %d\n", p.Name, *faultSeed, p.Depth)
+		}
+		cfg.ReaderFor = func(shard int) chain.Reader {
+			var sched *faultchain.Schedule
+			if injecting {
+				// Distinct per-shard schedules from the one seed.
+				s := faultchain.NewSchedule(prof, *faultSeed+int64(shard))
+				sched = &s
+			}
+			client, _ := faultchain.NewResilientReader(pop.Chain, sched, copts)
+			return client
+		}
+	} else {
+		cfg.Reader = pop.Chain
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	if *storeDir != "" {
+		st := srv.StoreStats()
+		fmt.Fprintf(os.Stderr, "verdict store: %d entries in %d segment(s), loaded in %.1fms (%d torn bytes truncated)\n",
+			st.Entries, st.Segments, st.LoadMS, st.TruncatedBytes)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "proxiond listening on %s (%d shards)\n", *addr, *shards)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+
+	if *selfLoad {
+		defer srv.Close()
+		defer httpSrv.Close()
+		return selfDrive(pop, *addr, *loadReqs, *loadConc, *loadOut)
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain: stop accepting, finish
+	// enqueued analyses, flush and close the store.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		srv.Close()
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "\n%s: draining...\n", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	if *verbose {
+		ctr := srv.Counters()
+		fmt.Fprintf(os.Stderr, "served %d requests: %d analyses, %d coalesced, %d cache hits\n",
+			ctr.Requests, ctr.Analyses, ctr.Coalesced, ctr.ResultCacheHits)
+	}
+	st := srv.StoreStats()
+	if st.Entries > 0 {
+		fmt.Fprintf(os.Stderr, "verdict store: %d entries, %d appended this run, %d skipped as known\n",
+			st.Entries, st.Appended, st.SkippedPuts)
+	}
+	return nil
+}
+
+// selfDrive runs the built-in load harness against the just-started
+// server and prints its report to stdout.
+func selfDrive(pop *dataset.Population, addr string, requests, concurrency int, outPath string) error {
+	base := "http://" + addr
+	if strings.HasPrefix(addr, ":") {
+		base = "http://127.0.0.1" + addr
+	}
+	// Wait for the listener.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server did not come up at %s: %w", base, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	var addrs []string
+	for _, a := range pop.Chain.Contracts() {
+		addrs = append(addrs, a.Hex())
+	}
+	rep, err := loadtest.Run(loadtest.Config{
+		BaseURL:     base,
+		Addresses:   addrs,
+		Concurrency: concurrency,
+		Requests:    requests,
+		Seed:        1,
+	})
+	if err != nil {
+		return err
+	}
+	out, err := rep.WriteIndented()
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	if outPath != "" {
+		if err := rep.WriteJSON(outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote loadtest report to %s\n", outPath)
+	}
+	return nil
+}

@@ -170,6 +170,14 @@ func (a *Landscape) observeStandard(rep proxion.Report) {
 // Merge folds another aggregate (built over a disjoint partition of the
 // corpus) into this one. Note logicSeen dedup is per-partition: a logic
 // contract proxied from two partitions counts once per partition.
+//
+// Overlapping inputs are NOT deduplicated: every counter except logicSeen
+// is additive, so a contract Observed by both aggregates counts twice in
+// the merged tables. logicSeen itself merges by set union — a logic
+// address seen in both partitions occupies one slot afterwards, and
+// further Observe calls on the merged aggregate dedup against the union.
+// Callers that shard a corpus must therefore partition it disjointly;
+// Merge has no way to detect or repair double-counting after the fact.
 func (a *Landscape) Merge(o *Landscape) {
 	for y, c := range o.f2 {
 		if dst := a.f2[y]; dst != nil {

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/etypes"
 	"repro/internal/gen"
+	"repro/internal/pipeline"
 	"repro/internal/proxion"
 )
 
@@ -285,13 +286,68 @@ func CheckCacheParity(c *gen.Corpus, opts proxion.AnalyzeOptions) []Mismatch {
 	return out
 }
 
+// CheckStoreParity proves warm-start equivalence — the property the
+// proxiond verdict store leans on. It runs the engine cold, exports the
+// verdict cache, round-trips every entry through its binary wire encoding
+// (the exact bytes the disk store persists), imports the decoded entries
+// into a fresh detector, and requires the warm run to produce identical
+// reports and pairs with zero additional emulations: every verdict must
+// come from the restored cache, never from re-analysis.
+func CheckStoreParity(c *gen.Corpus, opts proxion.AnalyzeOptions) []Mismatch {
+	var coldStats pipeline.Stats
+	cold := opts
+	cold.Stats = &coldStats
+	dcold := proxion.NewDetector(c.Chain)
+	rcold := dcold.AnalyzeAllWithOptions(c.Registry, cold)
+
+	var out []Mismatch
+	entries := dcold.ExportVerdicts()
+	restored := make([]proxion.CacheEntry, 0, len(entries))
+	for _, e := range entries {
+		blob, err := e.MarshalBinary()
+		if err != nil {
+			out = append(out, Mismatch{Layer: "store",
+				Detail: fmt.Sprintf("entry %x does not marshal: %v", e.CodeHash[:4], err)})
+			continue
+		}
+		var back proxion.CacheEntry
+		if err := back.UnmarshalBinary(blob); err != nil {
+			out = append(out, Mismatch{Layer: "store",
+				Detail: fmt.Sprintf("entry %x does not round-trip: %v", e.CodeHash[:4], err)})
+			continue
+		}
+		restored = append(restored, back)
+	}
+	if len(out) > 0 {
+		return out
+	}
+
+	var warmStats pipeline.Stats
+	warm := opts
+	warm.Stats = &warmStats
+	dwarm := proxion.NewDetector(c.Chain)
+	dwarm.ImportVerdicts(restored)
+	rwarm := dwarm.AnalyzeAllWithOptions(c.Registry, warm)
+
+	out = diffReports("store", rcold.Reports, rwarm.Reports)
+	out = append(out, diffPairs("store", rcold.Pairs, rwarm.Pairs)...)
+	if w := warmStats.Emulations.Load(); !opts.DisableDedup && w != 0 {
+		out = append(out, Mismatch{Layer: "store",
+			Detail: fmt.Sprintf("warm run re-emulated %d contracts (cold ran %d); restored cache did not cover the corpus",
+				w, coldStats.Emulations.Load())})
+	}
+	return out
+}
+
 // Run executes every differential layer on one corpus: labels vs the
-// sequential reference, streaming vs sequential, cache-on vs cache-off.
+// sequential reference, streaming vs sequential, cache-on vs cache-off,
+// and warm-store vs cold analysis.
 func Run(c *gen.Corpus) []Mismatch {
 	ref := SequentialReference(c)
 	out := CheckDetector(c, ref.Reports)
 	out = append(out, CheckPairs(c, ref.Pairs)...)
 	out = append(out, CheckStreaming(c, ref, proxion.AnalyzeOptions{})...)
 	out = append(out, CheckCacheParity(c, proxion.AnalyzeOptions{})...)
+	out = append(out, CheckStoreParity(c, proxion.AnalyzeOptions{})...)
 	return out
 }

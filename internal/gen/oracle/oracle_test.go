@@ -77,6 +77,9 @@ func TestOracleStreamingConfigs(t *testing.T) {
 		if ms := CheckCacheParity(c, opts); len(ms) > 0 {
 			t.Errorf("%s: %s", opt.name, Format(c, ms))
 		}
+		if ms := CheckStoreParity(c, opts); len(ms) > 0 {
+			t.Errorf("%s: %s", opt.name, Format(c, ms))
+		}
 	}
 }
 

@@ -53,6 +53,13 @@ type AnalyzeOptions struct {
 	// historical pair is collision-analyzed into Result.Histories (or the
 	// Item.History field in streaming runs).
 	WithHistory bool
+	// Stats, when non-nil, is the externally-owned counter set the run
+	// updates instead of a private one. All Stats fields are atomic, so a
+	// caller may read them live while the run is in flight — how a
+	// long-running query service exposes per-shard progress without
+	// waiting for the end-of-run snapshot. The final Snapshot is taken
+	// from the same counters.
+	Stats *pipeline.Stats
 }
 
 // The streaming engine's work-item types; idx is the contract's position
@@ -175,8 +182,11 @@ func (d *Detector) AnalyzeStream(src AddressSource, sources SourceProvider, sink
 	}
 
 	eng := pipeline.New()
-	var stats pipeline.Stats
-	tracker := newStreamTracker(window, sink, &stats)
+	stats := opts.Stats
+	if stats == nil {
+		stats = new(pipeline.Stats)
+	}
+	tracker := newStreamTracker(window, sink, stats)
 	apiBefore := d.chain.APICalls()
 	var retriesBefore, tripsBefore int64
 	resil, hasResil := d.chain.(resilienceSource)
@@ -331,5 +341,5 @@ func (d *Detector) AnalyzeStream(src AddressSource, sources SourceProvider, sink
 		stats.Retries.Add(r - retriesBefore)
 		stats.BreakerTrips.Add(t - tripsBefore)
 	}
-	return eng.Snapshot(&stats)
+	return eng.Snapshot(stats)
 }

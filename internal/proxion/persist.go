@@ -1,0 +1,333 @@
+package proxion
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/etypes"
+)
+
+// This file is the persistence surface of the bytecode-dedup verdict
+// cache: the exported, serializable view of one cache entry and the
+// Detector hooks that export and import entries without callers reaching
+// into unexported state. A long-running service snapshots entries through
+// ExportVerdict as analyses complete, appends them to a disk store, and
+// re-seeds a fresh detector with ImportVerdicts on restart — so verdicts
+// survive process death and a warm process answers duplicate-bytecode
+// queries without a single re-emulation.
+
+// CachedVerdict is one memoized emulation outcome of a bytecode, exported:
+// the verdict recorded under one guard-slot fingerprint.
+type CachedVerdict struct {
+	// Fingerprint is the guard-slot fingerprint the verdict was recorded
+	// under (see guardFingerprint).
+	Fingerprint etypes.Hash
+	// Forwarded says the fallback forwarded the probe via DELEGATECALL.
+	Forwarded bool
+	// Target/ImplSlot/Logic locate the delegate (meaningful when Forwarded).
+	Target   TargetSource
+	ImplSlot etypes.Hash
+	Logic    etypes.Address
+	// EmulationErr is the terminal EVM error text ("" when none). Errors
+	// round-trip as text: a rehydrated verdict reproduces the same Error()
+	// string, which is all downstream reporting observes.
+	EmulationErr string
+	// Reason is the human-readable verdict justification.
+	Reason string
+}
+
+// CacheEntry is the exported, serializable state of one distinct runtime
+// bytecode in the verdict cache.
+type CacheEntry struct {
+	// CodeHash keys the entry: Keccak-256 of the runtime bytecode.
+	CodeHash etypes.Hash
+	// FirstAddr is the address the recording run probed.
+	FirstAddr etypes.Address
+	// GuardSlots are the storage slots the fallback read before forwarding,
+	// in first-read order. Order is significant — the fingerprint hashes
+	// slots in this order — and is preserved exactly by serialization.
+	GuardSlots []etypes.Hash
+	// Verdicts holds the per-fingerprint outcomes.
+	Verdicts []CachedVerdict
+}
+
+// cacheEntryVersion tags the binary encoding; bump on layout change.
+const cacheEntryVersion = 1
+
+// maxCacheEntrySlices bounds slice lengths accepted by UnmarshalBinary,
+// rejecting garbage lengths before allocation.
+const maxCacheEntrySlices = 1 << 20
+
+// persistedError rehydrates an emulation error from its stored text. The
+// analysis layers only ever observe Error(), so a round-tripped verdict is
+// indistinguishable from the original in every report.
+type persistedError string
+
+func (e persistedError) Error() string { return string(e) }
+
+// MarshalBinary encodes the entry byte-stably: verdicts are sorted by
+// fingerprint, guard slots keep their semantic order, and all integers are
+// fixed-width big-endian — so two entries with equal contents marshal to
+// identical bytes regardless of map iteration or recording order.
+func (e CacheEntry) MarshalBinary() ([]byte, error) {
+	if len(e.GuardSlots) > maxCacheEntrySlices || len(e.Verdicts) > maxCacheEntrySlices {
+		return nil, fmt.Errorf("proxion: cache entry too large to encode")
+	}
+	vs := make([]CachedVerdict, len(e.Verdicts))
+	copy(vs, e.Verdicts)
+	sort.Slice(vs, func(i, j int) bool {
+		return bytes.Compare(vs[i].Fingerprint[:], vs[j].Fingerprint[:]) < 0
+	})
+
+	var b bytes.Buffer
+	b.WriteByte(cacheEntryVersion)
+	b.Write(e.CodeHash[:])
+	b.Write(e.FirstAddr[:])
+	writeU32 := func(n int) {
+		var u [4]byte
+		binary.BigEndian.PutUint32(u[:], uint32(n))
+		b.Write(u[:])
+	}
+	writeStr := func(s string) {
+		writeU32(len(s))
+		b.WriteString(s)
+	}
+	writeU32(len(e.GuardSlots))
+	for _, s := range e.GuardSlots {
+		b.Write(s[:])
+	}
+	writeU32(len(vs))
+	for _, v := range vs {
+		b.Write(v.Fingerprint[:])
+		if v.Forwarded {
+			b.WriteByte(1)
+		} else {
+			b.WriteByte(0)
+		}
+		b.WriteByte(byte(v.Target))
+		b.Write(v.ImplSlot[:])
+		b.Write(v.Logic[:])
+		writeStr(v.EmulationErr)
+		writeStr(v.Reason)
+	}
+	return b.Bytes(), nil
+}
+
+// UnmarshalBinary decodes an entry encoded by MarshalBinary, validating
+// the version tag and every length before use.
+func (e *CacheEntry) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	readByte := func() (byte, error) { return r.ReadByte() }
+
+	v, err := readByte()
+	if err != nil {
+		return fmt.Errorf("proxion: cache entry truncated")
+	}
+	if v != cacheEntryVersion {
+		return fmt.Errorf("proxion: cache entry version %d, want %d", v, cacheEntryVersion)
+	}
+	need := func(p []byte) error {
+		n, err := r.Read(p)
+		if err != nil || n != len(p) {
+			return fmt.Errorf("proxion: cache entry truncated")
+		}
+		return nil
+	}
+	readU32 := func() (int, error) {
+		var u [4]byte
+		if err := need(u[:]); err != nil {
+			return 0, err
+		}
+		n := int(binary.BigEndian.Uint32(u[:]))
+		if n < 0 || n > maxCacheEntrySlices {
+			return 0, fmt.Errorf("proxion: cache entry length %d out of range", n)
+		}
+		return n, nil
+	}
+	readStr := func() (string, error) {
+		n, err := readU32()
+		if err != nil {
+			return "", err
+		}
+		if n > r.Len() {
+			return "", fmt.Errorf("proxion: cache entry truncated")
+		}
+		p := make([]byte, n)
+		if n > 0 {
+			if err := need(p); err != nil {
+				return "", err
+			}
+		}
+		return string(p), nil
+	}
+
+	var out CacheEntry
+	if err := need(out.CodeHash[:]); err != nil {
+		return err
+	}
+	if err := need(out.FirstAddr[:]); err != nil {
+		return err
+	}
+	nSlots, err := readU32()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nSlots; i++ {
+		var s etypes.Hash
+		if err := need(s[:]); err != nil {
+			return err
+		}
+		out.GuardSlots = append(out.GuardSlots, s)
+	}
+	nVerd, err := readU32()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nVerd; i++ {
+		var cv CachedVerdict
+		if err := need(cv.Fingerprint[:]); err != nil {
+			return err
+		}
+		fwd, err := readByte()
+		if err != nil {
+			return fmt.Errorf("proxion: cache entry truncated")
+		}
+		cv.Forwarded = fwd == 1
+		tgt, err := readByte()
+		if err != nil {
+			return fmt.Errorf("proxion: cache entry truncated")
+		}
+		cv.Target = TargetSource(tgt)
+		if err := need(cv.ImplSlot[:]); err != nil {
+			return err
+		}
+		if err := need(cv.Logic[:]); err != nil {
+			return err
+		}
+		if cv.EmulationErr, err = readStr(); err != nil {
+			return err
+		}
+		if cv.Reason, err = readStr(); err != nil {
+			return err
+		}
+		out.Verdicts = append(out.Verdicts, cv)
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("proxion: %d trailing bytes after cache entry", r.Len())
+	}
+	*e = out
+	return nil
+}
+
+// ExportVerdict snapshots the cache entry for one runtime bytecode hash.
+// It returns ok=false when the hash is unknown, still recording, or
+// poisoned (a recording run that died in a read failure — such entries
+// transfer no verdicts and are not worth persisting). Call only after the
+// analysis that touched the bytecode has delivered its result (a sink
+// observing the finished item satisfies this); the call synchronizes with
+// the recording goroutine through the entry's once.
+func (d *Detector) ExportVerdict(codeHash etypes.Hash) (CacheEntry, bool) {
+	d.verdicts.mu.Lock()
+	e, ok := d.verdicts.m[codeHash]
+	d.verdicts.mu.Unlock()
+	if !ok {
+		return CacheEntry{}, false
+	}
+	return exportEntry(codeHash, e)
+}
+
+// ExportVerdicts snapshots every exportable cache entry, sorted by code
+// hash for deterministic output. Intended for quiescent detectors (after a
+// run has drained); see ExportVerdict for the synchronization contract.
+func (d *Detector) ExportVerdicts() []CacheEntry {
+	d.verdicts.mu.Lock()
+	hashes := make([]etypes.Hash, 0, len(d.verdicts.m))
+	for h := range d.verdicts.m {
+		hashes = append(hashes, h)
+	}
+	d.verdicts.mu.Unlock()
+	sort.Slice(hashes, func(i, j int) bool {
+		return bytes.Compare(hashes[i][:], hashes[j][:]) < 0
+	})
+	var out []CacheEntry
+	for _, h := range hashes {
+		if e, ok := d.ExportVerdict(h); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// exportEntry renders one recorded codeVerdict as its exported form.
+func exportEntry(codeHash etypes.Hash, e *codeVerdict) (CacheEntry, bool) {
+	// Synchronize with the recording run. If the entry was created but
+	// never recorded, this consumes the once and the entry reads as
+	// poisoned — harmless at the quiescent points this API is for.
+	e.once.Do(func() {})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.byFP == nil {
+		return CacheEntry{}, false
+	}
+	out := CacheEntry{
+		CodeHash:   codeHash,
+		FirstAddr:  e.firstAddr,
+		GuardSlots: append([]etypes.Hash(nil), e.guardSlots...),
+	}
+	for fp, v := range e.byFP {
+		cv := CachedVerdict{
+			Fingerprint: fp,
+			Forwarded:   v.forwarded,
+			Target:      v.target,
+			ImplSlot:    v.implSlot,
+			Logic:       v.logic,
+			Reason:      v.reason,
+		}
+		if v.emulationErr != nil {
+			cv.EmulationErr = v.emulationErr.Error()
+		}
+		out.Verdicts = append(out.Verdicts, cv)
+	}
+	sort.Slice(out.Verdicts, func(i, j int) bool {
+		return bytes.Compare(out.Verdicts[i].Fingerprint[:], out.Verdicts[j].Fingerprint[:]) < 0
+	})
+	return out, true
+}
+
+// ImportVerdicts pre-seeds the verdict cache with previously exported
+// entries, returning how many were installed. An entry whose code hash is
+// already cached is skipped — live state wins over persisted state — so
+// importing is safe at any point, though it is normally done once, before
+// the first analysis. Imported entries participate in the LRU exactly like
+// recorded ones.
+func (d *Detector) ImportVerdicts(entries []CacheEntry) int {
+	installed := 0
+	for _, ent := range entries {
+		cv := &codeVerdict{
+			firstAddr:  ent.FirstAddr,
+			guardSlots: append([]etypes.Hash(nil), ent.GuardSlots...),
+			byFP:       make(map[etypes.Hash]*probeVerdict, len(ent.Verdicts)),
+		}
+		for _, v := range ent.Verdicts {
+			pv := &probeVerdict{
+				forwarded: v.Forwarded,
+				target:    v.Target,
+				implSlot:  v.ImplSlot,
+				logic:     v.Logic,
+				reason:    v.Reason,
+			}
+			if v.EmulationErr != "" {
+				pv.emulationErr = persistedError(v.EmulationErr)
+			}
+			cv.byFP[v.Fingerprint] = pv
+		}
+		// Mark the entry recorded: lookups must go straight to byFP.
+		cv.once.Do(func() {})
+		if d.verdicts.install(ent.CodeHash, cv) {
+			installed++
+		}
+	}
+	return installed
+}

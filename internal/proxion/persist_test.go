@@ -1,0 +1,260 @@
+package proxion
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/etypes"
+)
+
+// goldenEntry is a fixed cache entry exercising every field: two guard
+// slots in semantic (non-sorted) order, a forwarded storage verdict, a
+// non-forwarded verdict with an emulation error, and an empty-reason
+// verdict.
+func goldenEntry() CacheEntry {
+	h := func(b byte) (out etypes.Hash) { out[0] = b; out[31] = b ^ 0xff; return }
+	a := func(b byte) (out etypes.Address) { out[0] = b; out[19] = b + 1; return }
+	return CacheEntry{
+		CodeHash:   h(0x11),
+		FirstAddr:  a(0x22),
+		GuardSlots: []etypes.Hash{h(0xb0), h(0xa0)}, // deliberately not sorted
+		Verdicts: []CachedVerdict{
+			{
+				Fingerprint:  h(0x02),
+				Forwarded:    false,
+				Target:       TargetUnknown,
+				EmulationErr: "evm: out of gas",
+				Reason:       "emulation aborted: evm: out of gas",
+			},
+			{
+				Fingerprint: h(0x01),
+				Forwarded:   true,
+				Target:      TargetStorage,
+				ImplSlot:    h(0xc0),
+				Logic:       a(0x33),
+				Reason:      "fallback forwarded the probe call data via DELEGATECALL to " + a(0x33).Hex(),
+			},
+		},
+	}
+}
+
+// TestCacheEntryGoldenRoundTrip pins the binary encoding byte-for-byte:
+// the golden hex below must never change without bumping
+// cacheEntryVersion, or persisted stores would silently misdecode.
+func TestCacheEntryGoldenRoundTrip(t *testing.T) {
+	e := goldenEntry()
+	enc, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+
+	const golden = "0111000000000000000000000000000000000000000000000000000000000000" +
+		"ee220000000000000000000000000000000000002300000002b0000000000000" +
+		"0000000000000000000000000000000000000000000000004fa0000000000000" +
+		"0000000000000000000000000000000000000000000000005f00000002010000" +
+		"00000000000000000000000000000000000000000000000000000000fe0102c0" +
+		"0000000000000000000000000000000000000000000000000000000000003f33" +
+		"00000000000000000000000000000000000034000000000000006566616c6c62" +
+		"61636b20666f72776172646564207468652070726f62652063616c6c20646174" +
+		"61207669612044454c454741544543414c4c20746f2030783333303030303030" +
+		"3030303030303030303030303030303030303030303030303030303030303334" +
+		"02000000000000000000000000000000000000000000000000000000000000fd" +
+		"0000000000000000000000000000000000000000000000000000000000000000" +
+		"000000000000000000000000000000000000000000000000000f65766d3a206f" +
+		"7574206f662067617300000022656d756c6174696f6e2061626f727465643a20" +
+		"65766d3a206f7574206f6620676173"
+	if got := hex.EncodeToString(enc); got != golden {
+		t.Fatalf("encoding drifted from golden without a version bump:\n got:  %s\n want: %s", got, golden)
+	}
+
+	// Byte-stability: marshaling twice, and marshaling with the verdicts
+	// pre-sorted differently, must give identical bytes.
+	enc2, _ := e.MarshalBinary()
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("MarshalBinary is not deterministic")
+	}
+	swapped := e
+	swapped.Verdicts = []CachedVerdict{e.Verdicts[1], e.Verdicts[0]}
+	enc3, _ := swapped.MarshalBinary()
+	if !bytes.Equal(enc, enc3) {
+		t.Fatalf("MarshalBinary depends on verdict order:\n a=%s\n b=%s",
+			hex.EncodeToString(enc), hex.EncodeToString(enc3))
+	}
+
+	var dec CacheEntry
+	if err := dec.UnmarshalBinary(enc); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	// After decoding, verdicts are in fingerprint order; re-marshaling
+	// must reproduce the exact bytes (the store's skip-identical-put
+	// optimization depends on this).
+	reenc, err := dec.MarshalBinary()
+	if err != nil {
+		t.Fatalf("re-MarshalBinary: %v", err)
+	}
+	if !bytes.Equal(enc, reenc) {
+		t.Fatalf("round trip not byte-stable:\n a=%s\n b=%s",
+			hex.EncodeToString(enc), hex.EncodeToString(reenc))
+	}
+
+	// Field-level round trip (guard slot order preserved verbatim).
+	if dec.CodeHash != e.CodeHash || dec.FirstAddr != e.FirstAddr {
+		t.Fatalf("identity fields did not round-trip")
+	}
+	if len(dec.GuardSlots) != 2 || dec.GuardSlots[0] != e.GuardSlots[0] || dec.GuardSlots[1] != e.GuardSlots[1] {
+		t.Fatalf("guard slots reordered or lost: %v", dec.GuardSlots)
+	}
+	if len(dec.Verdicts) != 2 {
+		t.Fatalf("got %d verdicts, want 2", len(dec.Verdicts))
+	}
+	// Sorted by fingerprint: h(0x01) first.
+	if !dec.Verdicts[0].Forwarded || dec.Verdicts[0].Target != TargetStorage {
+		t.Fatalf("forwarded verdict did not round-trip: %+v", dec.Verdicts[0])
+	}
+	if dec.Verdicts[1].EmulationErr != "evm: out of gas" {
+		t.Fatalf("emulation error did not round-trip: %+v", dec.Verdicts[1])
+	}
+}
+
+// TestCacheEntryUnmarshalRejectsCorruption exercises the decoder's error
+// paths: truncation at every prefix must error, never panic, and trailing
+// garbage is rejected.
+func TestCacheEntryUnmarshalRejectsCorruption(t *testing.T) {
+	enc, err := goldenEntry().MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	for n := 0; n < len(enc); n++ {
+		var dec CacheEntry
+		if err := dec.UnmarshalBinary(enc[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", n)
+		}
+	}
+	var dec CacheEntry
+	if err := dec.UnmarshalBinary(append(append([]byte{}, enc...), 0x00)); err == nil {
+		t.Fatalf("trailing garbage decoded without error")
+	}
+	bad := append([]byte{}, enc...)
+	bad[0] = cacheEntryVersion + 1
+	if err := dec.UnmarshalBinary(bad); err == nil {
+		t.Fatalf("wrong version decoded without error")
+	}
+}
+
+// TestExportImportParity runs the detector over a duplicated-bytecode
+// chain, exports the cache, imports it into a fresh detector over the same
+// chain, and requires (1) identical verdicts and (2) zero fresh
+// emulations on the warm side — the property the persistent store exists
+// to provide.
+func TestExportImportParity(t *testing.T) {
+	ch := chain.New()
+	logic := etypes.MustAddress("0x00000000000000000000000000000000000000aa")
+	ch.InstallContract(logic, []byte{0x60, 0x00, 0x60, 0x00, 0xf3}) // trivial stop-ish logic
+	// Two byte-identical EIP-1167 clones of the same logic.
+	clone := minimalProxyCode(logic)
+	p1 := etypes.MustAddress("0x0000000000000000000000000000000000000b01")
+	p2 := etypes.MustAddress("0x0000000000000000000000000000000000000b02")
+	ch.InstallContract(p1, clone)
+	ch.InstallContract(p2, clone)
+
+	cold := NewDetector(ch)
+	var coldReps []Report
+	for _, a := range []etypes.Address{p1, p2} {
+		coldReps = append(coldReps, withStream(t, cold, a))
+	}
+	entries := cold.ExportVerdicts()
+	if len(entries) == 0 {
+		t.Fatalf("no exportable entries after a proxy analysis")
+	}
+
+	// Round-trip through bytes, as the store would.
+	var rt []CacheEntry
+	for _, e := range entries {
+		b, err := e.MarshalBinary()
+		if err != nil {
+			t.Fatalf("MarshalBinary: %v", err)
+		}
+		var dec CacheEntry
+		if err := dec.UnmarshalBinary(b); err != nil {
+			t.Fatalf("UnmarshalBinary: %v", err)
+		}
+		rt = append(rt, dec)
+	}
+
+	warm := NewDetector(ch)
+	if n := warm.ImportVerdicts(rt); n != len(rt) {
+		t.Fatalf("imported %d of %d entries", n, len(rt))
+	}
+	// Importing again is a no-op: live entries win.
+	if n := warm.ImportVerdicts(rt); n != 0 {
+		t.Fatalf("re-import clobbered %d live entries", n)
+	}
+
+	for i, a := range []etypes.Address{p1, p2} {
+		warmRep := withStream(t, warm, a)
+		if cold, warm := reportString(coldReps[i]), reportString(warmRep); cold != warm {
+			t.Fatalf("verdict for %v differs cold vs warm:\n cold: %s\n warm: %s", a, cold, warm)
+		}
+	}
+}
+
+// withStream analyzes one address through the streaming engine (the code
+// path the service uses) and returns its report, failing the test on a
+// missing emission.
+func withStream(t *testing.T, d *Detector, addr etypes.Address) Report {
+	t.Helper()
+	var got *Report
+	snap := d.AnalyzeStream(SliceSource([]etypes.Address{addr}), nil,
+		SinkFunc(func(it Item) { r := it.Report; got = &r }), AnalyzeOptions{})
+	if got == nil || snap == nil {
+		t.Fatalf("no item emitted for %v", addr)
+	}
+	return *got
+}
+
+// reportString renders the observable verdict fields for comparison.
+func reportString(r Report) string {
+	errStr := func(e error) string {
+		if e == nil {
+			return "<nil>"
+		}
+		return e.Error()
+	}
+	return r.Address.Hex() + "|" + boolStr(r.IsProxy) + "|" + r.Logic.Hex() + "|" +
+		r.Target.String() + "|" + r.ImplSlot.Hex() + "|" + r.Standard.String() + "|" +
+		boolStr(r.HasDelegateCall) + "|" + errStr(r.EmulationErr) + "|" + r.Reason
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "t"
+	}
+	return "f"
+}
+
+// minimalProxyCode builds the canonical EIP-1167 runtime for a target.
+func minimalProxyCode(target etypes.Address) []byte {
+	code := []byte{
+		0x36, 0x3d, 0x3d, 0x37, 0x3d, 0x3d, 0x3d, 0x36, 0x3d, 0x73,
+	}
+	code = append(code, target[:]...)
+	code = append(code,
+		0x5a, 0xf4, 0x3d, 0x82, 0x80, 0x3e, 0x90, 0x3d, 0x91, 0x60, 0x2b, 0x57, 0xfd, 0x5b, 0xf3)
+	return code
+}
+
+// TestImportedErrorRehydration pins that a persisted emulation error
+// reproduces its text through the error interface.
+func TestImportedErrorRehydration(t *testing.T) {
+	var e error = persistedError("evm: stack underflow")
+	if e.Error() != "evm: stack underflow" {
+		t.Fatalf("persistedError text mismatch: %q", e.Error())
+	}
+	var target persistedError
+	if !errors.As(e, &target) {
+		t.Fatalf("errors.As failed on persistedError")
+	}
+}

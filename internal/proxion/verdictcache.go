@@ -83,6 +83,26 @@ func (c *verdictCache) entry(codeHash etypes.Hash) *codeVerdict {
 	return e
 }
 
+// install inserts a fully-formed record for one bytecode hash — the
+// import path for persisted entries. An existing record wins: live state
+// is never clobbered by a (possibly stale) persisted one. Returns whether
+// the record was installed.
+func (c *verdictCache) install(codeHash etypes.Hash, e *codeVerdict) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.m[codeHash]; exists {
+		return false
+	}
+	c.m[codeHash] = e
+	c.elems[codeHash] = c.order.PushFront(codeHash)
+	c.evictLocked()
+	// Eviction may have dropped the just-installed entry itself when the
+	// cache is bounded below the import size; report installed only if it
+	// survived.
+	_, ok := c.m[codeHash]
+	return ok
+}
+
 // invalidate drops the record for one bytecode hash, if present. The next
 // duplicate of that code re-emulates and records fresh — the remedy for a
 // verdict known to be stale (e.g. after out-of-band storage surgery on

@@ -1,0 +1,199 @@
+// Package loadtest is the service-level performance harness for proxiond:
+// a self-contained HTTP load generator that drives the verdict endpoint
+// with a configurable concurrency and hot-set skew, and reports latency
+// percentiles (p50/p90/p99), throughput, and the server's own counters.
+// CI runs it in-process against an httptest server and archives the
+// report; `proxiond -loadtest` runs the same harness against a live
+// process.
+package loadtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the server under test (no trailing slash).
+	BaseURL string
+	// Addresses is the query population (hex-encoded).
+	Addresses []string
+	// Concurrency is the number of parallel client workers (default 8).
+	Concurrency int
+	// Requests is the total request count across workers (default 512).
+	Requests int
+	// HotFraction of requests target the hot set (the first max(1, 1/16th)
+	// of Addresses), modeling the duplicate-heavy query mix a real
+	// deployment sees. Default 0.8.
+	HotFraction float64
+	// Seed fixes the address-pick sequence.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Requests <= 0 {
+		c.Requests = 512
+	}
+	if c.HotFraction <= 0 || c.HotFraction > 1 {
+		c.HotFraction = 0.8
+	}
+	return c
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	Errors      int     `json:"errors"`
+	DurationMS  float64 `json:"duration_ms"`
+	QPS         float64 `json:"qps"`
+
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+
+	// Server is the /v1/stats payload captured after the run — the
+	// coalescing/cache counters that explain the latency numbers.
+	Server json.RawMessage `json:"server,omitempty"`
+}
+
+// Run executes the load run. Worker errors are counted, not fatal; the
+// returned error covers only configuration problems.
+func Run(cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return Report{}, fmt.Errorf("loadtest: BaseURL required")
+	}
+	if len(cfg.Addresses) == 0 {
+		return Report{}, fmt.Errorf("loadtest: no addresses")
+	}
+
+	hot := len(cfg.Addresses) / 16
+	if hot < 1 {
+		hot = 1
+	}
+
+	// Pre-plan every request so workers share no RNG state.
+	plan := make([]string, cfg.Requests)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := range plan {
+		if rng.Float64() < cfg.HotFraction {
+			plan[i] = cfg.Addresses[rng.Intn(hot)]
+		} else {
+			plan[i] = cfg.Addresses[rng.Intn(len(cfg.Addresses))]
+		}
+	}
+
+	type result struct {
+		lat time.Duration
+		err error
+	}
+	results := make([]result, cfg.Requests)
+	next := make(chan int)
+	done := make(chan struct{})
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		go func() {
+			for i := range next {
+				t0 := time.Now()
+				resp, err := client.Get(cfg.BaseURL + "/v1/verdict?addr=" + plan[i])
+				if err == nil {
+					_, err = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						err = fmt.Errorf("status %d", resp.StatusCode)
+					}
+				}
+				results[i] = result{lat: time.Since(t0), err: err}
+				done <- struct{}{}
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < cfg.Requests; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for i := 0; i < cfg.Requests; i++ {
+		<-done
+	}
+	elapsed := time.Since(start)
+
+	rep := Report{
+		Requests:    cfg.Requests,
+		Concurrency: cfg.Concurrency,
+		DurationMS:  float64(elapsed.Microseconds()) / 1000,
+	}
+	lats := make([]time.Duration, 0, cfg.Requests)
+	for _, r := range results {
+		if r.err != nil {
+			rep.Errors++
+			continue
+		}
+		lats = append(lats, r.lat)
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+		rep.P50MS = ms(percentile(lats, 0.50))
+		rep.P90MS = ms(percentile(lats, 0.90))
+		rep.P99MS = ms(percentile(lats, 0.99))
+		rep.MaxMS = ms(lats[len(lats)-1])
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.QPS = float64(cfg.Requests-rep.Errors) / secs
+	}
+
+	// Attach the server's own view of the run.
+	if resp, err := client.Get(cfg.BaseURL + "/v1/stats"); err == nil {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && resp.StatusCode == http.StatusOK && json.Valid(body) {
+			rep.Server = json.RawMessage(body)
+		}
+	}
+	return rep, nil
+}
+
+// percentile returns the p-th latency from a sorted slice (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// WriteIndented renders the report as indented JSON.
+func (r Report) WriteIndented() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: %w", err)
+	}
+	return out, nil
+}
+
+// WriteJSON writes the report, indented, to path — the CI artifact hook.
+func (r Report) WriteJSON(path string) error {
+	out, err := r.WriteIndented()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return fmt.Errorf("loadtest: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package loadtest_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/serve"
+	"repro/internal/serve/loadtest"
+)
+
+// envInt reads an integer knob from the environment — how the nightly CI
+// job scales the run up without a separate code path.
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// TestLoadAgainstInProcessServer is the CI loadtest: it stands up the
+// full service in-process, drives it with the harness, sanity-checks the
+// report, and (when LOADTEST_REPORT is set) writes the JSON artifact CI
+// archives on every PR. Defaults are sized for the PR gate; the nightly
+// job raises LOADTEST_REQUESTS / LOADTEST_CONCURRENCY.
+func TestLoadAgainstInProcessServer(t *testing.T) {
+	contracts := envInt("LOADTEST_CONTRACTS", 96)
+	requests := envInt("LOADTEST_REQUESTS", 768)
+	concurrency := envInt("LOADTEST_CONCURRENCY", 12)
+	if testing.Short() {
+		contracts, requests, concurrency = 32, 128, 4
+	}
+
+	c := gen.Generate(gen.Config{Seed: 101, Contracts: contracts})
+	srv, err := serve.New(serve.Config{
+		Reader:   c.Chain,
+		Sources:  c.Registry,
+		Shards:   4,
+		StoreDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var addrs []string
+	for _, a := range c.Chain.Contracts() {
+		addrs = append(addrs, a.Hex())
+	}
+	rep, err := loadtest.Run(loadtest.Config{
+		BaseURL:     ts.URL,
+		Addresses:   addrs,
+		Concurrency: concurrency,
+		Requests:    requests,
+		HotFraction: 0.8,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatalf("loadtest.Run: %v", err)
+	}
+
+	if rep.Errors != 0 {
+		t.Fatalf("load run had %d errors of %d requests", rep.Errors, rep.Requests)
+	}
+	if rep.P50MS <= 0 || rep.P99MS < rep.P50MS || rep.MaxMS < rep.P99MS {
+		t.Fatalf("nonsensical percentiles: p50=%.3f p99=%.3f max=%.3f", rep.P50MS, rep.P99MS, rep.MaxMS)
+	}
+	if rep.QPS <= 0 {
+		t.Fatalf("QPS not computed: %+v", rep)
+	}
+	if len(rep.Server) == 0 {
+		t.Fatalf("report did not capture server stats")
+	}
+
+	// The skewed mix must exercise the cache/coalescing path: far fewer
+	// engine analyses than requests.
+	ctr := srv.Counters()
+	if ctr.Analyses >= ctr.Requests {
+		t.Fatalf("no dedup under hot-set load: %d analyses for %d requests", ctr.Analyses, ctr.Requests)
+	}
+	if ctr.Analyses > int64(len(addrs)) {
+		t.Fatalf("more analyses (%d) than distinct addresses (%d)", ctr.Analyses, len(addrs))
+	}
+
+	// The server's embedded stats must parse back into the serve shape.
+	var stats serve.StatsResponse
+	if err := json.Unmarshal(rep.Server, &stats); err != nil {
+		t.Fatalf("embedded server stats do not parse: %v", err)
+	}
+	if stats.Counters.Requests < int64(requests) {
+		t.Fatalf("server saw %d requests, harness sent %d", stats.Counters.Requests, requests)
+	}
+
+	if path := os.Getenv("LOADTEST_REPORT"); path != "" {
+		if err := rep.WriteJSON(path); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		t.Logf("wrote loadtest report to %s", path)
+	}
+	t.Logf("loadtest: %d req @ %d workers: p50=%.2fms p90=%.2fms p99=%.2fms qps=%.0f analyses=%d",
+		rep.Requests, rep.Concurrency, rep.P50MS, rep.P90MS, rep.P99MS, rep.QPS, ctr.Analyses)
+}
+
+// TestRunValidatesConfig pins the harness's own error paths.
+func TestRunValidatesConfig(t *testing.T) {
+	if _, err := loadtest.Run(loadtest.Config{}); err == nil {
+		t.Fatalf("empty config accepted")
+	}
+	if _, err := loadtest.Run(loadtest.Config{BaseURL: "http://localhost:1"}); err == nil {
+		t.Fatalf("config without addresses accepted")
+	}
+}

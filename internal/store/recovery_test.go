@@ -1,0 +1,240 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// These tests pin the store's crash-recovery contract: a torn record at
+// the tail of the final segment (the only damage a crash mid-append can
+// produce in an append-only log) is healed with zero loss of previously
+// durable verdicts, while damage anywhere else — which only a lying disk
+// can produce — refuses to open.
+
+// tornTailCases enumerates the shapes a crash can leave at the log tail.
+func tornTailCases() map[string][]byte {
+	validPayload := []byte{0x01, 0x02, 0x03, 0x04}
+	rec := make([]byte, 8+len(validPayload))
+	binary.BigEndian.PutUint32(rec[0:4], uint32(len(validPayload)))
+	binary.BigEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(validPayload))
+	copy(rec[8:], validPayload)
+	return map[string][]byte{
+		"partial_header":  {0x00, 0x00, 0x01},
+		"header_only":     rec[:8],
+		"partial_payload": rec[:10],
+		// Framing intact, payload checksummed, but the payload is not a
+		// decodable CacheEntry — a write torn inside a buffered batch.
+		"undecodable_payload": rec,
+		// Length field promises more bytes than the file holds.
+		"overlong_length": {0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x00, 0x00},
+	}
+}
+
+// TestKillMidWriteRecovery is the acceptance property: fill a store,
+// simulate a crash mid-append by appending each torn-tail shape, and
+// require reopen to serve every previously durable verdict with the torn
+// bytes truncated away.
+func TestKillMidWriteRecovery(t *testing.T) {
+	for name, torn := range tornTailCases() {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := mustOpen(t, dir, Options{})
+			const n = 6
+			for i := byte(0); i < n; i++ {
+				if err := s.Put(testEntry(i + 1)); err != nil {
+					t.Fatalf("Put: %v", err)
+				}
+			}
+			s.Close()
+
+			seg := lastSegment(t, dir)
+			before, _ := os.Stat(seg)
+			appendBytes(t, seg, torn)
+
+			s2 := mustOpen(t, dir, Options{})
+			defer s2.Close()
+			if s2.Len() != n {
+				t.Fatalf("recovered %d entries, want %d (zero verdict loss)", s2.Len(), n)
+			}
+			for i := byte(0); i < n; i++ {
+				want := testEntry(i + 1)
+				got, ok, err := s2.Get(want.CodeHash)
+				if err != nil || !ok || got.Verdicts[0].Reason != want.Verdicts[0].Reason {
+					t.Fatalf("verdict %d lost in recovery: ok=%v err=%v", i, ok, err)
+				}
+			}
+			st := s2.Stats()
+			if st.TruncatedBytes != int64(len(torn)) {
+				t.Fatalf("TruncatedBytes=%d, want %d", st.TruncatedBytes, len(torn))
+			}
+			after, _ := os.Stat(seg)
+			if after.Size() != before.Size() {
+				t.Fatalf("segment not truncated back: %d -> %d bytes, want %d",
+					before.Size(), after.Size(), before.Size())
+			}
+			// The healed log is fully valid again.
+			if err := s2.VerifyChecksums(); err != nil {
+				t.Fatalf("VerifyChecksums after recovery: %v", err)
+			}
+			// And writable: the interrupted Put can simply be retried.
+			if err := s2.Put(testEntry(0x77)); err != nil {
+				t.Fatalf("Put after recovery: %v", err)
+			}
+		})
+	}
+}
+
+// TestTornHeaderHealing covers the narrower crash window during segment
+// creation: a header shorter than the magic is reset to an empty segment.
+func TestTornHeaderHealing(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put(testEntry(1)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	s.Close()
+
+	// A crash between "create next segment" and "write its header".
+	short, err := os.Create(lastSegment(t, dir) + ".tmp")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	short.Write(segmentMagic[:3])
+	short.Close()
+	os.Rename(short.Name(), lastSegment(t, dir)[:len(lastSegment(t, dir))-len(".log")]+"z.log")
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if s2.Len() != 1 {
+		t.Fatalf("recovered %d entries, want 1", s2.Len())
+	}
+	if st := s2.Stats(); st.TruncatedBytes != 3 {
+		t.Fatalf("TruncatedBytes=%d, want 3", st.TruncatedBytes)
+	}
+	if err := s2.Put(testEntry(2)); err != nil {
+		t.Fatalf("Put into healed segment: %v", err)
+	}
+}
+
+// corruptAt flips one byte of a file in place.
+func corruptAt(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}
+
+// TestInteriorCorruptionRefusesOpen: a checksum failure that is NOT at the
+// log tail cannot be a torn write — the store refuses to open rather than
+// silently dropping verdicts that were durable.
+func TestInteriorCorruptionRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := byte(0); i < 4; i++ {
+		if err := s.Put(testEntry(i + 1)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	s.Close()
+
+	// Flip a payload byte of the FIRST record (offset: 8 magic + 8 header).
+	corruptAt(t, lastSegment(t, dir), 8+8+2)
+
+	_, err := Open(dir, Options{})
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("interior corruption opened anyway: err=%v", err)
+	}
+	if ce.Reason == "" || ce.Segment == "" {
+		t.Fatalf("CorruptionError missing context: %+v", ce)
+	}
+}
+
+// TestNonFinalSegmentTornTailRefusesOpen: a truncated record in a sealed
+// (non-final) segment is not a crash signature — appends only ever touch
+// the last segment — so it must refuse, not heal.
+func TestNonFinalSegmentTornTailRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentBytes: 256, NoSync: true})
+	for i := byte(0); i < 16; i++ {
+		if err := s.Put(testEntry(i + 1)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if s.Stats().Segments < 2 {
+		t.Fatalf("need ≥2 segments for this test")
+	}
+	s.Close()
+
+	// Truncate the FIRST segment mid-record.
+	first := filepath.Join(dir, segmentName(0))
+	st, _ := os.Stat(first)
+	if err := os.Truncate(first, st.Size()-3); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	_, err := Open(dir, Options{})
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("torn non-final segment opened anyway: err=%v", err)
+	}
+}
+
+// TestBadMagicRefusesOpen: a segment whose header is not the store's magic
+// is not this store's file — refuse rather than misparse.
+func TestBadMagicRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	s.Put(testEntry(1))
+	s.Close()
+
+	corruptAt(t, lastSegment(t, dir), 0)
+	_, err := Open(dir, Options{})
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("bad magic opened anyway: err=%v", err)
+	}
+}
+
+// TestVerifyChecksumsDetectsBitRot: VerifyChecksums is the fsck — it must
+// catch damage even where Open's tail-healing would have truncated it.
+func TestVerifyChecksumsDetectsBitRot(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := byte(0); i < 3; i++ {
+		s.Put(testEntry(i + 1))
+	}
+	if err := s.VerifyChecksums(); err != nil {
+		t.Fatalf("clean store failed fsck: %v", err)
+	}
+	seg := lastSegment(t, dir)
+	s.Close()
+
+	st, _ := os.Stat(seg)
+	corruptAt(t, seg, st.Size()-1) // last byte: Open would heal, fsck must flag
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("tail corruption should have healed on open: %v", err)
+	}
+	defer s2.Close()
+	if s2.Stats().TruncatedBytes == 0 {
+		t.Fatalf("expected tail truncation")
+	}
+	if err := s2.VerifyChecksums(); err != nil {
+		t.Fatalf("healed store failed fsck: %v", err)
+	}
+}

@@ -1,0 +1,525 @@
+// Package store is the disk-backed, content-addressed verdict store
+// behind the proxiond analysis service: an append-only segment log of
+// serialized verdict-cache entries (proxion.CacheEntry) with an in-memory
+// index keyed by runtime-bytecode hash.
+//
+// Design invariants:
+//
+//   - Append-only: a Put never rewrites existing bytes; updated entries
+//     are appended and the replay's last-record-wins rule supersedes the
+//     old one. Crash safety therefore reduces to handling a single torn
+//     record at the log tail.
+//   - Checksummed: every record carries a CRC32 of its payload, and every
+//     payload self-validates through CacheEntry's versioned decoder. A
+//     flipped bit anywhere is detected, never silently served.
+//   - Torn tails heal, interior corruption does not: a partial or
+//     CRC-failing record at the tail of the *last* segment is the
+//     signature of a crash mid-write — Open truncates it and continues
+//     with every verdict that was durable before the crash. The same
+//     damage anywhere else means the disk lied, and Open refuses the
+//     store rather than guess.
+//   - Load is a sequential scan: reopening a store replays the segments
+//     front to back into the index, so restart cost is one linear read of
+//     the log — no per-entry seeks.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/etypes"
+	"repro/internal/proxion"
+)
+
+// segment header: magic + format version. Fixed 8 bytes.
+var segmentMagic = [8]byte{'P', 'X', 'S', 'T', 'L', 'O', 'G', '1'}
+
+// recordHeaderSize is the per-record framing: u32 payload length + u32
+// CRC32(payload).
+const recordHeaderSize = 8
+
+// maxRecordBytes rejects absurd lengths during replay before allocating.
+const maxRecordBytes = 16 << 20
+
+// Options tunes a store. The zero value is production-safe.
+type Options struct {
+	// SegmentBytes rotates the active segment once it grows past this
+	// size. Default 4 MiB.
+	SegmentBytes int64
+	// NoSync skips the per-append fsync. Appends then survive process
+	// death (the OS flushes eventually) but not host death; tests and
+	// throughput-bound loaders may opt in.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	// Entries is the number of distinct code hashes indexed.
+	Entries int `json:"entries"`
+	// Segments is the number of log segments on disk.
+	Segments int `json:"segments"`
+	// Bytes is the total size of all segments.
+	Bytes int64 `json:"bytes"`
+	// Appended counts records written by this process.
+	Appended int64 `json:"appended"`
+	// SkippedPuts counts Puts dropped because the entry was byte-identical
+	// to the indexed one (the common case for hot bytecodes).
+	SkippedPuts int64 `json:"skipped_puts"`
+	// TruncatedBytes is how many torn-tail bytes Open discarded while
+	// recovering this store.
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	// LoadMS is how long the opening replay took.
+	LoadMS float64 `json:"load_ms"`
+}
+
+// Store is a disk-backed verdict store. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	index    map[etypes.Hash][]byte // code hash → latest serialized entry
+	active   *os.File
+	activeID int
+	size     int64 // active segment size
+	total    int64 // all segments
+
+	segments  int
+	appended  int64
+	skipped   int64
+	truncated int64
+	loadDur   time.Duration
+	closed    bool
+}
+
+// CorruptionError reports unrecoverable log damage: a record that fails
+// its checksum (or framing) somewhere other than the tail of the last
+// segment.
+type CorruptionError struct {
+	Segment string
+	Offset  int64
+	Reason  string
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("store: %s corrupt at offset %d: %s", e.Segment, e.Offset, e.Reason)
+}
+
+// Open loads (or creates) the store in dir, replaying the segment log
+// into the in-memory index. A torn record at the log tail — the crash-
+// mid-write signature — is truncated away; corruption anywhere else
+// returns a *CorruptionError.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		index: make(map[etypes.Hash][]byte),
+	}
+	start := time.Now()
+	if err := s.replay(); err != nil {
+		return nil, err
+	}
+	s.loadDur = time.Since(start)
+	return s, nil
+}
+
+// segmentName renders the n-th segment's file name.
+func segmentName(n int) string { return fmt.Sprintf("seg-%06d.log", n) }
+
+// segmentFiles lists the store's segments in log order.
+func (s *Store) segmentFiles() ([]string, error) {
+	names, err := filepath.Glob(filepath.Join(s.dir, "seg-*.log"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// replay scans every segment into the index and positions the active
+// segment for appends.
+func (s *Store) replay() error {
+	files, err := s.segmentFiles()
+	if err != nil {
+		return err
+	}
+	s.segments = len(files)
+	for i, path := range files {
+		last := i == len(files)-1
+		n, err := s.replaySegment(path, last)
+		if err != nil {
+			return err
+		}
+		s.total += n
+		if last {
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+			s.active = f
+			s.size = n
+			// Segment ids are their index in sorted order by construction.
+			s.activeID = i
+		}
+	}
+	if s.active == nil {
+		return s.rotateLocked()
+	}
+	return nil
+}
+
+// replaySegment reads one segment into the index, returning the number of
+// valid bytes. In the last segment, a torn tail is truncated in place;
+// anywhere else it is corruption.
+func (s *Store) replaySegment(path string, last bool) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+
+	name := filepath.Base(path)
+	corrupt := func(off int64, reason string) (int64, error) {
+		return 0, &CorruptionError{Segment: name, Offset: off, Reason: reason}
+	}
+	truncateAt := func(off int64, fileSize int64) (int64, error) {
+		if !last {
+			return corrupt(off, "torn record in a non-final segment")
+		}
+		if err := os.Truncate(path, off); err != nil {
+			return 0, fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+		s.truncated += fileSize - off
+		return off, nil
+	}
+
+	st, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	fileSize := st.Size()
+
+	var hdr [8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		// A header shorter than 8 bytes can only be a crash during segment
+		// creation; heal it to an empty, re-headered segment.
+		if !last {
+			return corrupt(0, "short segment header")
+		}
+		if err := os.Truncate(path, 0); err != nil {
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		if err := writeSegmentHeader(path); err != nil {
+			return 0, err
+		}
+		s.truncated += fileSize
+		return int64(len(segmentMagic)), nil
+	}
+	if hdr != segmentMagic {
+		return corrupt(0, fmt.Sprintf("bad segment magic %q", hdr[:]))
+	}
+
+	off := int64(len(segmentMagic))
+	for {
+		var rh [recordHeaderSize]byte
+		_, err := io.ReadFull(f, rh[:])
+		if err == io.EOF {
+			return off, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return truncateAt(off, fileSize)
+		}
+		if err != nil {
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		plen := binary.BigEndian.Uint32(rh[0:4])
+		sum := binary.BigEndian.Uint32(rh[4:8])
+		if plen == 0 || plen > maxRecordBytes || off+recordHeaderSize+int64(plen) > fileSize {
+			// A length that cannot fit in the file (or is garbage) means
+			// the framing is gone from here on — the torn-write signature.
+			// truncateAt refuses it outside the final segment.
+			return truncateAt(off, fileSize)
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return truncateAt(off, fileSize)
+			}
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			if off+recordHeaderSize+int64(plen) == fileSize {
+				return truncateAt(off, fileSize)
+			}
+			return corrupt(off, "payload checksum mismatch")
+		}
+		var ent proxion.CacheEntry
+		if err := ent.UnmarshalBinary(payload); err != nil {
+			if off+recordHeaderSize+int64(plen) == fileSize {
+				return truncateAt(off, fileSize)
+			}
+			return corrupt(off, err.Error())
+		}
+		s.index[ent.CodeHash] = payload
+		off += recordHeaderSize + int64(plen)
+	}
+}
+
+// writeSegmentHeader creates/overwrites path with a bare segment header.
+func writeSegmentHeader(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(segmentMagic[:]); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return f.Sync()
+}
+
+// rotateLocked opens the next segment as active. Callers hold s.mu (or
+// run before the store is shared).
+func (s *Store) rotateLocked() error {
+	next := 0
+	if s.active != nil {
+		if err := s.active.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := s.active.Close(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		next = s.activeID + 1
+	}
+	path := filepath.Join(s.dir, segmentName(next))
+	if err := writeSegmentHeader(path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.active = f
+	s.activeID = next
+	s.size = int64(len(segmentMagic))
+	s.total += int64(len(segmentMagic))
+	s.segments++
+	return nil
+}
+
+// Put appends one entry to the log and indexes it. A Put whose serialized
+// bytes equal the indexed entry for the same code hash is skipped — the
+// entry is already durable — which keeps hot-bytecode traffic from
+// growing the log.
+func (s *Store) Put(e proxion.CacheEntry) error {
+	payload, err := e.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if prev, ok := s.index[e.CodeHash]; ok && bytes.Equal(prev, payload) {
+		s.skipped++
+		return nil
+	}
+	var rh [recordHeaderSize]byte
+	binary.BigEndian.PutUint32(rh[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(rh[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := s.active.Write(rh[:]); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := s.active.Write(payload); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := s.active.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	n := int64(recordHeaderSize + len(payload))
+	s.size += n
+	s.total += n
+	s.appended++
+	s.index[e.CodeHash] = payload
+	if s.size >= s.opts.SegmentBytes {
+		return s.rotateLocked()
+	}
+	return nil
+}
+
+// Get returns the indexed entry for one code hash.
+func (s *Store) Get(codeHash etypes.Hash) (proxion.CacheEntry, bool, error) {
+	s.mu.Lock()
+	payload, ok := s.index[codeHash]
+	s.mu.Unlock()
+	if !ok {
+		return proxion.CacheEntry{}, false, nil
+	}
+	var e proxion.CacheEntry
+	if err := e.UnmarshalBinary(payload); err != nil {
+		return proxion.CacheEntry{}, false, err
+	}
+	return e, true, nil
+}
+
+// Entries decodes every indexed entry, sorted by code hash — the restart
+// path that re-seeds detector caches.
+func (s *Store) Entries() ([]proxion.CacheEntry, error) {
+	s.mu.Lock()
+	payloads := make([][]byte, 0, len(s.index))
+	for _, p := range s.index {
+		payloads = append(payloads, p)
+	}
+	s.mu.Unlock()
+	out := make([]proxion.CacheEntry, 0, len(payloads))
+	for _, p := range payloads {
+		var e proxion.CacheEntry
+		if err := e.UnmarshalBinary(p); err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i].CodeHash[:], out[j].CodeHash[:]) < 0
+	})
+	return out, nil
+}
+
+// Len returns the number of distinct code hashes indexed.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries:        len(s.index),
+		Segments:       s.segments,
+		Bytes:          s.total,
+		Appended:       s.appended,
+		SkippedPuts:    s.skipped,
+		TruncatedBytes: s.truncated,
+		LoadMS:         float64(s.loadDur.Microseconds()) / 1000,
+	}
+}
+
+// Sync flushes the active segment to disk.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the store. Further Puts fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.active.Sync(); err != nil {
+		s.active.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.active.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// VerifyChecksums rescans every segment on disk, validating framing and
+// checksums end to end — the store's fsck. It does not modify the log.
+func (s *Store) VerifyChecksums() error {
+	s.mu.Lock()
+	if !s.closed && s.active != nil {
+		if err := s.active.Sync(); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	files, err := s.segmentFiles()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, path := range files {
+		if err := verifySegment(path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifySegment checks one segment's header, framing, payload checksums
+// and payload decodability.
+func verifySegment(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	name := filepath.Base(path)
+	var hdr [8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil || hdr != segmentMagic {
+		return &CorruptionError{Segment: name, Offset: 0, Reason: "bad segment header"}
+	}
+	off := int64(len(segmentMagic))
+	for {
+		var rh [recordHeaderSize]byte
+		if _, err := io.ReadFull(f, rh[:]); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return &CorruptionError{Segment: name, Offset: off, Reason: "torn record header"}
+		}
+		plen := binary.BigEndian.Uint32(rh[0:4])
+		if plen == 0 || plen > maxRecordBytes {
+			return &CorruptionError{Segment: name, Offset: off, Reason: "bad record length"}
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return &CorruptionError{Segment: name, Offset: off, Reason: "torn record payload"}
+		}
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(rh[4:8]) {
+			return &CorruptionError{Segment: name, Offset: off, Reason: "payload checksum mismatch"}
+		}
+		var ent proxion.CacheEntry
+		if err := ent.UnmarshalBinary(payload); err != nil {
+			return &CorruptionError{Segment: name, Offset: off, Reason: err.Error()}
+		}
+		off += recordHeaderSize + int64(plen)
+	}
+}

@@ -1,0 +1,238 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/etypes"
+	"repro/internal/proxion"
+)
+
+// testEntry builds a distinct, fully-populated cache entry from a seed.
+func testEntry(seed byte) proxion.CacheEntry {
+	h := func(b byte) (out etypes.Hash) { out[0] = seed; out[31] = b; return }
+	a := func(b byte) (out etypes.Address) { out[0] = seed; out[19] = b; return }
+	return proxion.CacheEntry{
+		CodeHash:   h(0x01),
+		FirstAddr:  a(0x02),
+		GuardSlots: []etypes.Hash{h(0x03)},
+		Verdicts: []proxion.CachedVerdict{
+			{
+				Fingerprint: h(0x04),
+				Forwarded:   true,
+				Target:      proxion.TargetStorage,
+				ImplSlot:    h(0x05),
+				Logic:       a(0x06),
+				Reason:      fmt.Sprintf("verdict for seed %d", seed),
+			},
+		},
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestPutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	want := make([]proxion.CacheEntry, 0, 8)
+	for i := byte(0); i < 8; i++ {
+		e := testEntry(i + 1)
+		want = append(want, e)
+		if err := s.Put(e); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	for _, e := range want {
+		got, ok, err := s.Get(e.CodeHash)
+		if err != nil || !ok {
+			t.Fatalf("Get(%v): ok=%v err=%v", e.CodeHash, ok, err)
+		}
+		if got.FirstAddr != e.FirstAddr || got.Verdicts[0].Reason != e.Verdicts[0].Reason {
+			t.Fatalf("entry mutated through the store: %+v", got)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen: everything durable, nothing re-appended.
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if s2.Len() != len(want) {
+		t.Fatalf("reopened store has %d entries, want %d", s2.Len(), len(want))
+	}
+	for _, e := range want {
+		got, ok, err := s2.Get(e.CodeHash)
+		if err != nil || !ok {
+			t.Fatalf("reopened Get(%v): ok=%v err=%v", e.CodeHash, ok, err)
+		}
+		if got.Verdicts[0].Reason != e.Verdicts[0].Reason {
+			t.Fatalf("entry did not survive reopen: %+v", got)
+		}
+	}
+	st := s2.Stats()
+	if st.Appended != 0 || st.TruncatedBytes != 0 {
+		t.Fatalf("clean reopen reported appends/truncation: %+v", st)
+	}
+	if err := s2.VerifyChecksums(); err != nil {
+		t.Fatalf("VerifyChecksums: %v", err)
+	}
+}
+
+// TestPutSkipsIdenticalPayloads pins the dedup that keeps hot bytecodes
+// from growing the log: a byte-identical re-Put writes nothing.
+func TestPutSkipsIdenticalPayloads(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+	e := testEntry(1)
+	for i := 0; i < 5; i++ {
+		if err := s.Put(e); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	st := s.Stats()
+	if st.Appended != 1 || st.SkippedPuts != 4 {
+		t.Fatalf("appended=%d skipped=%d, want 1/4", st.Appended, st.SkippedPuts)
+	}
+
+	// A changed entry for the same code hash is appended and last-wins.
+	e.Verdicts[0].Reason = "updated"
+	if err := s.Put(e); err != nil {
+		t.Fatalf("Put updated: %v", err)
+	}
+	got, ok, err := s.Get(e.CodeHash)
+	if err != nil || !ok || got.Verdicts[0].Reason != "updated" {
+		t.Fatalf("updated entry not served: ok=%v err=%v got=%+v", ok, err, got)
+	}
+	if st := s.Stats(); st.Appended != 2 || st.Entries != 1 {
+		t.Fatalf("after update: %+v", st)
+	}
+}
+
+// TestLastRecordWinsAcrossReopen pins that replay applies updates in log
+// order: the superseding record, not the original, is served after reopen.
+func TestLastRecordWinsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	e := testEntry(1)
+	if err := s.Put(e); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	e.Verdicts[0].Reason = "second write wins"
+	if err := s.Put(e); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	got, ok, _ := s2.Get(e.CodeHash)
+	if !ok || got.Verdicts[0].Reason != "second write wins" {
+		t.Fatalf("replay did not apply last-record-wins: %+v", got)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("superseded record double-counted: len=%d", s2.Len())
+	}
+}
+
+// TestSegmentRotation forces tiny segments and checks the log rotates,
+// survives reopen, and reads back every entry.
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentBytes: 256, NoSync: true})
+	const n = 32
+	for i := 0; i < n; i++ {
+		if err := s.Put(testEntry(byte(i + 1))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	st := s.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation with 256-byte segments, got %d segments", st.Segments)
+	}
+	s.Close()
+
+	files, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if len(files) != st.Segments {
+		t.Fatalf("%d segment files on disk, stats say %d", len(files), st.Segments)
+	}
+
+	s2 := mustOpen(t, dir, Options{SegmentBytes: 256})
+	defer s2.Close()
+	if s2.Len() != n {
+		t.Fatalf("rotated store reopened with %d entries, want %d", s2.Len(), n)
+	}
+	entries, err := s2.Entries()
+	if err != nil {
+		t.Fatalf("Entries: %v", err)
+	}
+	if len(entries) != n {
+		t.Fatalf("Entries returned %d, want %d", len(entries), n)
+	}
+	for i := 1; i < len(entries); i++ {
+		if !(entries[i-1].CodeHash.Hex() < entries[i].CodeHash.Hex()) {
+			t.Fatalf("Entries not sorted by code hash at %d", i)
+		}
+	}
+	if err := s2.VerifyChecksums(); err != nil {
+		t.Fatalf("VerifyChecksums after rotation: %v", err)
+	}
+}
+
+func TestClosedStoreRefusesPuts(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Put(testEntry(1)); err == nil {
+		t.Fatalf("Put on a closed store succeeded")
+	}
+	// Double close and post-close sync are harmless no-ops.
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync after Close: %v", err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+	if _, ok, err := s.Get(etypes.Hash{0xde, 0xad}); ok || err != nil {
+		t.Fatalf("missing hash: ok=%v err=%v", ok, err)
+	}
+}
+
+// lastSegment returns the path of the store directory's final segment.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no segments in %s: %v", dir, err)
+	}
+	return files[len(files)-1]
+}
+
+// appendBytes appends raw bytes to a file, simulating a torn write.
+func appendBytes(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	if _, err := f.Write(b); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	f.Close()
+}
