@@ -2,7 +2,7 @@
 # push, `make fuzz` is the scheduled deep run, `make bench-gate` is the
 # pull-request performance gate.
 
-.PHONY: build vet test short race bench bench-gate bench-baseline chaos ci fuzz soak serve
+.PHONY: build vet test short race bench bench-gate bench-baseline chaos ci fuzz soak serve lint
 
 # Per-target budget for the native fuzz engines in `make fuzz`.
 FUZZTIME ?= 60s
@@ -23,6 +23,11 @@ build:
 
 vet:
 	go vet ./...
+
+# Custom vet passes. readerpanic enforces the chain.Reader error
+# contract: every Reader read must run under chain.CaptureReadError.
+lint:
+	go run ./cmd/readerpanic .
 
 test:
 	go test ./...
@@ -83,3 +88,4 @@ fuzz:
 	go test ./internal/u256 -run '^$$' -fuzz FuzzU256VsBigInt -fuzztime $(FUZZTIME)
 	go test ./internal/evm -run '^$$' -fuzz FuzzExecuteArbitraryBytecode -fuzztime $(FUZZTIME)
 	go test ./internal/evm -run '^$$' -fuzz FuzzProxyProbe -fuzztime $(FUZZTIME)
+	go test ./internal/static -run '^$$' -fuzz FuzzStaticAnalyze -fuzztime $(FUZZTIME)

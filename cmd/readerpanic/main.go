@@ -1,0 +1,41 @@
+// Command readerpanic runs the chain.Reader contract lint over a source
+// tree: every Reader read must execute under chain.CaptureReadError so a
+// fallible node degrades single contracts to Unresolved instead of
+// crashing the run. See internal/lint/readerpanic for the rule.
+//
+// Usage:
+//
+//	readerpanic [root ...]
+//
+// With no arguments the current directory tree is checked. Exits 1 when
+// any unguarded read is found.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/lint/readerpanic"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	bad := false
+	for _, root := range roots {
+		findings, err := readerpanic.CheckTree(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "readerpanic:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			bad = true
+			fmt.Println(f)
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,45 @@
+package bench
+
+import "testing"
+
+// TestNearCloneWorkloadUplift pins the structural-promotion uplift as a
+// deterministic counter property of the stream-nearclone workload, not a
+// timing: the landscape's bytecodes are almost all distinct, so the
+// exact-hash tier alone could never hit more often than the duplicate
+// share — yet with the structural second-level key each clone family
+// costs exactly one emulation.
+func TestNearCloneWorkloadUplift(t *testing.T) {
+	w, ok := FindWorkload(Quick, "pipeline/stream-nearclone")
+	if !ok {
+		t.Fatal("pipeline/stream-nearclone missing from the quick suite")
+	}
+	const scale = 200
+	stamps, twins, dupes := NearCloneMix(scale)
+	inst := w.Setup(1, scale)
+	inst.Op()
+	got := inst.Counters()
+
+	// One emulation per clone family (stamps, twins); every other distinct
+	// bytecode is served by a validated structural promotion; the
+	// byte-identical duplicates stay on the exact-hash tier.
+	want := map[string]int64{
+		"contracts":          int64(scale),
+		"emulations":         2,
+		"structural_hits":    int64(stamps + twins - 2),
+		"cache_hits":         int64(stamps + twins - 2 + dupes),
+		"static_summaries":   int64(stamps + twins),
+		"structural_rejects": 0,
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("counter %s = %d, want %d", k, got[k], v)
+		}
+	}
+	// The headline uplift: the hit count must exceed the exact-hash
+	// ceiling (the duplicate share) — only structural promotion gets past
+	// it on a distinct-bytecode landscape.
+	if got["cache_hits"] <= int64(dupes) {
+		t.Errorf("cache_hits = %d does not beat the exact-hash ceiling %d",
+			got["cache_hits"], dupes)
+	}
+}

@@ -82,6 +82,11 @@ func constGas(op Op) uint64 {
 	}
 }
 
+// StackArity returns how many stack operands op pops and how many results
+// it pushes. It is the interpreter's own arity table, exported so static
+// analyses can mirror the stack discipline without executing code.
+func StackArity(op Op) (pops, pushes int) { return stackReq(op) }
+
 // stackReq returns how many operands op pops and pushes.
 func stackReq(op Op) (pops, pushes int) {
 	switch {

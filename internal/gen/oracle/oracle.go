@@ -341,7 +341,7 @@ func CheckStoreParity(c *gen.Corpus, opts proxion.AnalyzeOptions) []Mismatch {
 
 // Run executes every differential layer on one corpus: labels vs the
 // sequential reference, streaming vs sequential, cache-on vs cache-off,
-// and warm-store vs cold analysis.
+// warm-store vs cold analysis, and the static analyzer vs the labels.
 func Run(c *gen.Corpus) []Mismatch {
 	ref := SequentialReference(c)
 	out := CheckDetector(c, ref.Reports)
@@ -349,5 +349,6 @@ func Run(c *gen.Corpus) []Mismatch {
 	out = append(out, CheckStreaming(c, ref, proxion.AnalyzeOptions{})...)
 	out = append(out, CheckCacheParity(c, proxion.AnalyzeOptions{})...)
 	out = append(out, CheckStoreParity(c, proxion.AnalyzeOptions{})...)
+	out = append(out, CheckStaticParity(c)...)
 	return out
 }

@@ -1,0 +1,34 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestStaticParityFullTaxonomy runs the static↔dynamic cross-check on
+// corpora large enough that the guaranteed-coverage prefix installs every
+// taxonomy shape — positives, negatives, and the shapes emulation alone
+// cannot settle (diamonds, dead delegates).
+func TestStaticParityFullTaxonomy(t *testing.T) {
+	for _, seed := range fixedSeeds {
+		c := gen.Generate(gen.Config{Seed: seed, Contracts: 32})
+		present := make(map[gen.Shape]bool)
+		for _, s := range c.Shapes() {
+			present[s] = true
+		}
+		for _, want := range []gen.Shape{
+			gen.ShapeMinimalProxy, gen.ShapeHardcodedForwarder,
+			gen.ShapeEIP1967Proxy, gen.ShapeEIP1822Proxy, gen.ShapeAdHocProxy,
+			gen.ShapeDiamond, gen.ShapeLibraryCaller,
+			gen.ShapeDispatcherOnly, gen.ShapeDeadDelegate,
+		} {
+			if !present[want] {
+				t.Fatalf("seed %d: corpus missing shape %v", seed, want)
+			}
+		}
+		if ms := CheckStaticParity(c); len(ms) > 0 {
+			t.Errorf("seed %d:\n%s", seed, Format(c, ms))
+		}
+	}
+}

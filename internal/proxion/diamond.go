@@ -1,6 +1,7 @@
 package proxion
 
 import (
+	"repro/internal/chain"
 	"repro/internal/etypes"
 )
 
@@ -24,7 +25,11 @@ func (d *Detector) CheckWithHistory(addr etypes.Address) Report {
 	if rep.IsProxy || !rep.HasDelegateCall {
 		return rep
 	}
-	for _, sel := range d.chain.TxSelectors(addr) {
+	var sels [][4]byte
+	if re := chain.CaptureReadError(func() { sels = d.chain.TxSelectors(addr) }); re != nil {
+		return unresolvedReport(addr, re)
+	}
+	for _, sel := range sels {
 		probe := historyProbe(addr, sel)
 		r := d.CheckWithCallData(addr, probe)
 		if !r.IsProxy {

@@ -175,9 +175,18 @@ func TestDedupCacheMinimalProxyClones(t *testing.T) {
 			t.Errorf("clone %s classified %s, want EIP-1167", rep.Address, rep.Standard)
 		}
 	}
-	// Two distinct clone bytecodes (target is embedded) → exactly one hit.
-	if res.Stats.CacheHits != 1 {
-		t.Errorf("cache hits = %d, want 1", res.Stats.CacheHits)
+	// cloneOfA2 duplicates cloneOfA1's bytes (exact hit); cloneOfB is a
+	// distinct bytecode but a structural near-clone of the family, so the
+	// second level promotes it without emulating: one emulation serves all
+	// three stamps.
+	if res.Stats.CacheHits != 2 {
+		t.Errorf("cache hits = %d, want 2", res.Stats.CacheHits)
+	}
+	if res.Stats.StructuralHits != 1 {
+		t.Errorf("structural hits = %d, want 1", res.Stats.StructuralHits)
+	}
+	if res.Stats.Emulations != 1 {
+		t.Errorf("emulations = %d, want 1 (one per clone family)", res.Stats.Emulations)
 	}
 }
 

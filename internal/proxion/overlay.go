@@ -11,6 +11,11 @@ import (
 // runs (Section 4.2) execute arbitrary contract code, including SSTOREs and
 // CREATEs; the overlay absorbs all of that so detection never perturbs the
 // chain and many detections can run concurrently over a frozen chain.
+//
+// readerpanic:ignore-file — the overlay's base reads are evm.StateDB
+// callbacks: the interpreter only ever invokes them inside the probe's
+// chain.CaptureReadError (detector.go), a guard the intra-package lint
+// cannot see from here.
 type overlayState struct {
 	base chain.Reader
 

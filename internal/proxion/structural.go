@@ -1,0 +1,303 @@
+package proxion
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/etypes"
+	"repro/internal/static"
+)
+
+// The verdict cache's first-level key is the exact bytecode hash, which
+// already collapses the landscape's 98.7% byte-identical duplication. What
+// it cannot collapse are near-clones: EIP-1167 stamps differing only in the
+// embedded implementation address, or compiler twins differing only in a
+// 32-byte slot constant. Each such variant is a distinct code hash and costs
+// a full emulation under the exact cache.
+//
+// The structural index is the second-level key. It groups bytecodes by
+// their static fingerprint (wide PUSH immediates masked, see
+// static.Fingerprint) and runs a leader/follower protocol per family:
+//
+//   - The first code hash of a family is the leader. It is emulated
+//     normally; if the dynamic verdict is a cleanly forwarding proxy with
+//     no guard slots, the leader's own static summary is cross-checked
+//     against the dynamic verdict (exemplarConsistent). Only if statics
+//     and dynamics agree is the family registered.
+//   - Every later first-visit code hash with the same fingerprint is a
+//     follower. It runs the static analysis on its *own* bytes and, when
+//     the summary has the same uniform shape, re-anchors the verdict to
+//     its own embedded address or its own storage slot value (promote) —
+//     no emulation. A follower whose summary does not fit is rejected and
+//     emulated normally, so promotion can only skip work, never change a
+//     verdict that disagrees with emulation.
+//
+// Registration is deliberately conservative: negative verdicts never
+// register (their EmulationErr/Reason can differ per twin), truncated or
+// masked-immediate-control-flow summaries never register nor promote, and
+// guard-slot-reading fallbacks never register (a twin's guard state is not
+// comparable across different code hashes).
+type structuralIndex struct {
+	mu       sync.Mutex
+	m        map[etypes.Hash]*fpClass
+	capacity int
+	// order tracks recency front-to-back (front = most recent); each
+	// element's Value is the fingerprint key. elems indexes into it.
+	order *list.List
+	elems map[etypes.Hash]*list.Element
+}
+
+// fpClass is the state of one structural clone family. registered and
+// target are written by the leader before close(done) and read by
+// followers only after <-done, which is what makes them safe without a
+// lock of their own.
+type fpClass struct {
+	done       chan struct{}
+	registered bool
+	target     TargetSource
+}
+
+func newStructuralIndex() *structuralIndex {
+	return &structuralIndex{
+		m:     make(map[etypes.Hash]*fpClass),
+		order: list.New(),
+		elems: make(map[etypes.Hash]*list.Element),
+	}
+}
+
+// setCapacity bounds the index like the verdict cache: n <= 0 is
+// unbounded, n > 0 keeps at most n families, evicting least recently
+// used. An evicted family's in-flight leader finishes harmlessly into the
+// orphan; the next arrival of that fingerprint becomes a fresh leader.
+func (s *structuralIndex) setCapacity(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	s.capacity = n
+	s.evictLocked()
+}
+
+// class returns the family for fp and whether the caller claimed
+// leadership of a brand-new family. A leader MUST close(cls.done) on every
+// exit path, or followers block forever.
+func (s *structuralIndex) class(fp etypes.Hash) (cls *fpClass, leader bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.m[fp]; ok {
+		s.order.MoveToFront(s.elems[fp])
+		return c, false
+	}
+	c := &fpClass{done: make(chan struct{})}
+	s.m[fp] = c
+	s.elems[fp] = s.order.PushFront(fp)
+	s.evictLocked()
+	return c, true
+}
+
+func (s *structuralIndex) evictLocked() {
+	if s.capacity <= 0 {
+		return
+	}
+	for len(s.m) > s.capacity {
+		back := s.order.Back()
+		if back == nil {
+			return
+		}
+		key := back.Value.(etypes.Hash)
+		s.order.Remove(back)
+		delete(s.elems, key)
+		delete(s.m, key)
+	}
+}
+
+func (s *structuralIndex) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// probeSource says how a deduped check obtained its verdict.
+type probeSource uint8
+
+const (
+	// sourceEmulated means the verdict came from a fresh emulation probe.
+	sourceEmulated probeSource = iota
+	// sourceExactHit means the exact-bytecode verdict cache served it.
+	sourceExactHit
+	// sourceStructuralHit means a structural near-clone promotion served
+	// it without emulating.
+	sourceStructuralHit
+)
+
+// probeTrace is the accounting record of one checkDeduped call, consumed
+// by the pipeline's counter stage.
+type probeTrace struct {
+	source probeSource
+	// analyzed reports that a static summary was computed for this
+	// contract (leader cross-check or follower promotion attempt).
+	analyzed bool
+	// rejected reports that the structural layer looked at this contract
+	// and refused to register or promote it.
+	rejected bool
+}
+
+// recordFirst handles the once-protected first visit of a distinct code
+// hash: it decides between plain emulation, family registration (leader)
+// and near-clone promotion (follower), and populates the verdict-cache
+// entry either way so exact duplicates of this hash hit level one.
+func (d *Detector) recordFirst(entry *codeVerdict, addr etypes.Address, code []byte) (Report, probeTrace) {
+	var tr probeTrace
+	if d.structuralOff || d.structural == nil {
+		out := d.emulateProbe(addr, code, CraftCallData(addr, code))
+		d.recordOutcome(entry, addr, out)
+		return out.rep, tr
+	}
+
+	fp := static.Fingerprint(code)
+	cls, leader := d.structural.class(fp)
+	if leader {
+		// Close on every exit path — including a ReadError panic unwinding
+		// through here — so followers never block on a dead leader. A
+		// panicked leader leaves registered=false and followers emulate.
+		defer close(cls.done)
+		out := d.emulateProbe(addr, code, CraftCallData(addr, code))
+		d.recordOutcome(entry, addr, out)
+		if out.rep.IsProxy && out.rep.EmulationErr == nil && len(out.guardSlots) == 0 {
+			sum := static.Analyze(code)
+			tr.analyzed = true
+			if exemplarConsistent(sum, out.rep, addr) {
+				cls.target = out.rep.Target
+				cls.registered = true
+			} else {
+				tr.rejected = true
+			}
+		}
+		return out.rep, tr
+	}
+
+	<-cls.done
+	if !cls.registered {
+		out := d.emulateProbe(addr, code, CraftCallData(addr, code))
+		d.recordOutcome(entry, addr, out)
+		return out.rep, tr
+	}
+	sum := static.Analyze(code)
+	tr.analyzed = true
+	if rep, ok := d.promote(addr, sum, cls.target); ok {
+		d.recordPromoted(entry, addr, rep)
+		tr.source = sourceStructuralHit
+		return rep, tr
+	}
+	tr.rejected = true
+	out := d.emulateProbe(addr, code, CraftCallData(addr, code))
+	d.recordOutcome(entry, addr, out)
+	return out.rep, tr
+}
+
+// recordOutcome populates a fresh verdict-cache entry from an emulation.
+func (d *Detector) recordOutcome(entry *codeVerdict, addr etypes.Address, out probeOutcome) {
+	entry.firstAddr = addr
+	entry.guardSlots = out.guardSlots
+	entry.byFP = map[etypes.Hash]*probeVerdict{
+		d.guardFingerprint(addr, entry.guardSlots): verdictOf(out.rep),
+	}
+}
+
+// recordPromoted populates a fresh verdict-cache entry from a structural
+// promotion. Promotion only fires for families whose exemplar read no
+// guard slots, so the entry's guard set is empty by construction and exact
+// duplicates of this hash transfer under the zero fingerprint.
+func (d *Detector) recordPromoted(entry *codeVerdict, addr etypes.Address, rep Report) {
+	entry.firstAddr = addr
+	entry.guardSlots = nil
+	entry.byFP = map[etypes.Hash]*probeVerdict{
+		{}: verdictOf(rep),
+	}
+}
+
+// exemplarConsistent cross-checks the family exemplar's static summary
+// against its dynamic verdict. Registration requires the two analyses to
+// tell the same story: every reachable DELEGATECALL forwards the full call
+// data from an untainted target whose static provenance pins exactly the
+// dynamically observed source (the embedded address for hard-coded
+// proxies, the implementation slot for storage proxies). Anything the
+// static layer could not stabilize (Truncated), any masked immediate
+// influencing control flow, and any self-targeting delegate refuses the
+// whole family.
+func exemplarConsistent(sum *static.Summary, rep Report, addr etypes.Address) bool {
+	if sum.Truncated || sum.MaskedImmFlow || len(sum.Delegates) == 0 {
+		return false
+	}
+	for _, del := range sum.Delegates {
+		if !del.ForwardsCalldata || del.TargetTainted {
+			return false
+		}
+		switch rep.Target {
+		case TargetHardcoded:
+			if del.Provenance != static.ProvHardcoded || del.Target != rep.Logic || rep.Logic == addr {
+				return false
+			}
+		case TargetStorage:
+			if del.Provenance != static.ProvSlotConst || del.Slot != rep.ImplSlot {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// promote re-anchors a registered family's verdict to a follower from the
+// follower's own static summary: the embedded address for hard-coded
+// families, the follower's own slot value for storage families. It applies
+// the same uniformity checks as registration and the same refusals as the
+// exact cache's transferable (self-targeting delegates, packed storage
+// slots), so a promoted report is byte-for-byte what emulation plus
+// anchorVerdict would have produced.
+func (d *Detector) promote(addr etypes.Address, sum *static.Summary, target TargetSource) (Report, bool) {
+	if sum.Truncated || sum.MaskedImmFlow || len(sum.Delegates) == 0 {
+		return Report{}, false
+	}
+	lead := sum.Delegates[0]
+	for _, del := range sum.Delegates {
+		if !del.ForwardsCalldata || del.TargetTainted {
+			return Report{}, false
+		}
+		if del.Provenance != lead.Provenance || del.Target != lead.Target || del.Slot != lead.Slot {
+			return Report{}, false
+		}
+	}
+
+	rep := Report{Address: addr, HasDelegateCall: true, IsProxy: true, Target: target}
+	switch target {
+	case TargetHardcoded:
+		if lead.Provenance != static.ProvHardcoded || lead.Target == addr {
+			return Report{}, false
+		}
+		rep.Logic = lead.Target
+	case TargetStorage:
+		if lead.Provenance != static.ProvSlotConst {
+			return Report{}, false
+		}
+		slotVal := d.chain.GetState(addr, lead.Slot)
+		for _, b := range slotVal[:12] {
+			if b != 0 {
+				return Report{}, false
+			}
+		}
+		rep.ImplSlot = lead.Slot
+		rep.Logic = etypes.BytesToAddress(slotVal[:])
+	default:
+		return Report{}, false
+	}
+	rep.Reason = "fallback forwarded the probe call data via DELEGATECALL to " + rep.Logic.Hex()
+	return rep, true
+}
+
+// StructuralFamilies returns how many structural clone families the index
+// currently tracks. Like CacheEvictions this is a diagnostic, not a
+// deterministic pipeline counter.
+func (d *Detector) StructuralFamilies() int { return d.structural.len() }

@@ -195,27 +195,23 @@ type probeVerdict struct {
 }
 
 // checkDeduped runs the detection step for a contract that already passed
-// the disassembly filter, serving the verdict from the bytecode-dedup
-// cache when possible. It returns the report (without Standard, which the
-// classification stage adds) and whether the verdict was a cache hit.
-func (d *Detector) checkDeduped(addr etypes.Address, code []byte) (Report, bool) {
+// the disassembly filter, serving the verdict from the two-level dedup
+// cache when possible: level one is the exact bytecode hash, level two the
+// structural fingerprint (see structural.go). It returns the report
+// (without Standard, which the classification stage adds) and the trace
+// saying how the verdict was obtained.
+func (d *Detector) checkDeduped(addr etypes.Address, code []byte) (Report, probeTrace) {
 	entry := d.verdicts.entry(d.chain.CodeHash(addr))
 
 	var recorded Report
+	var recordedTrace probeTrace
 	fresh := false
 	entry.once.Do(func() {
 		fresh = true
-		out := d.emulateProbe(addr, code, CraftCallData(addr, code))
-		entry.firstAddr = addr
-		entry.guardSlots = out.guardSlots
-		v := verdictOf(out.rep)
-		entry.byFP = map[etypes.Hash]*probeVerdict{
-			d.guardFingerprint(addr, entry.guardSlots): v,
-		}
-		recorded = out.rep
+		recorded, recordedTrace = d.recordFirst(entry, addr, code)
 	})
 	if fresh {
-		return recorded, false
+		return recorded, recordedTrace
 	}
 
 	// A recording run that panicked with a read failure consumes the Once
@@ -226,7 +222,7 @@ func (d *Detector) checkDeduped(addr etypes.Address, code []byte) (Report, bool)
 	poisoned := entry.byFP == nil
 	entry.mu.Unlock()
 	if poisoned {
-		return d.emulateProbe(addr, code, CraftCallData(addr, code)).rep, false
+		return d.emulateProbe(addr, code, CraftCallData(addr, code)).rep, probeTrace{}
 	}
 
 	fp := d.guardFingerprint(addr, entry.guardSlots)
@@ -234,7 +230,7 @@ func (d *Detector) checkDeduped(addr etypes.Address, code []byte) (Report, bool)
 	v, ok := entry.byFP[fp]
 	entry.mu.Unlock()
 	if ok && d.transferable(v, addr, entry.firstAddr) {
-		return d.anchorVerdict(addr, v), true
+		return d.anchorVerdict(addr, v), probeTrace{source: sourceExactHit}
 	}
 
 	out := d.emulateProbe(addr, code, CraftCallData(addr, code))
@@ -246,7 +242,7 @@ func (d *Detector) checkDeduped(addr etypes.Address, code []byte) (Report, bool)
 		}
 		entry.mu.Unlock()
 	}
-	return out.rep, false
+	return out.rep, probeTrace{}
 }
 
 // verdictOf compresses a probe report into its cacheable core.

@@ -6,9 +6,11 @@ import (
 	"net/http"
 	"sync"
 
+	"repro/internal/chain"
 	"repro/internal/etypes"
 	"repro/internal/pipeline"
 	"repro/internal/proxion"
+	"repro/internal/static"
 	"repro/internal/store"
 )
 
@@ -125,6 +127,78 @@ func collisionsOf(it proxion.Item) CollisionReport {
 	return out
 }
 
+// StaticDelegateJSON is one reachable DELEGATECALL site on the wire.
+type StaticDelegateJSON struct {
+	PC               uint64 `json:"pc"`
+	Provenance       string `json:"provenance"`
+	Target           string `json:"target,omitempty"`
+	Slot             string `json:"slot,omitempty"`
+	ForwardsCalldata bool   `json:"forwards_calldata"`
+	TargetTainted    bool   `json:"target_tainted,omitempty"`
+}
+
+// StaticReport is the /v1/static payload: the emulation-free static
+// profile of one contract's runtime bytecode.
+type StaticReport struct {
+	Address         string               `json:"address"`
+	CodeHash        string               `json:"code_hash"`
+	Fingerprint     string               `json:"fingerprint"`
+	Selectors       []string             `json:"selectors"`
+	SlotReads       []string             `json:"slot_reads,omitempty"`
+	SlotWrites      []string             `json:"slot_writes,omitempty"`
+	KeccakReads     int                  `json:"keccak_reads,omitempty"`
+	KeccakWrites    int                  `json:"keccak_writes,omitempty"`
+	Delegates       []StaticDelegateJSON `json:"delegates"`
+	HasDelegateCall bool                 `json:"has_delegatecall"`
+	Blocks          int                  `json:"blocks"`
+	ReachableBlocks int                  `json:"reachable_blocks"`
+	MaskedImmFlow   bool                 `json:"masked_imm_flow,omitempty"`
+	Truncated       bool                 `json:"truncated,omitempty"`
+}
+
+// staticReportOf renders a static summary for the wire.
+func staticReportOf(addr etypes.Address, sum *static.Summary) StaticReport {
+	out := StaticReport{
+		Address:         addr.Hex(),
+		CodeHash:        sum.CodeHash.Hex(),
+		Fingerprint:     sum.Fingerprint.Hex(),
+		Selectors:       []string{},
+		Delegates:       []StaticDelegateJSON{},
+		HasDelegateCall: sum.HasDelegateCall,
+		Blocks:          sum.Blocks,
+		ReachableBlocks: sum.ReachableBlocks,
+		KeccakReads:     sum.KeccakReads,
+		KeccakWrites:    sum.KeccakWrites,
+		MaskedImmFlow:   sum.MaskedImmFlow,
+		Truncated:       sum.Truncated,
+	}
+	for _, sel := range sum.Selectors {
+		out.Selectors = append(out.Selectors, fmt.Sprintf("0x%x", sel))
+	}
+	for _, s := range sum.SlotReads {
+		out.SlotReads = append(out.SlotReads, s.Hex())
+	}
+	for _, s := range sum.SlotWrites {
+		out.SlotWrites = append(out.SlotWrites, s.Hex())
+	}
+	for _, del := range sum.Delegates {
+		j := StaticDelegateJSON{
+			PC:               del.PC,
+			Provenance:       del.Provenance.String(),
+			ForwardsCalldata: del.ForwardsCalldata,
+			TargetTainted:    del.TargetTainted,
+		}
+		switch del.Provenance {
+		case static.ProvHardcoded:
+			j.Target = del.Target.Hex()
+		case static.ProvSlotConst:
+			j.Slot = del.Slot.Hex()
+		}
+		out.Delegates = append(out.Delegates, j)
+	}
+	return out
+}
+
 // ShardStats is one shard's live statistics: the same proxion.Summary
 // shape the CLI's -json flag emits, fed from the shard's fold-as-you-go
 // builder and live pipeline counters.
@@ -154,6 +228,9 @@ func liveSnapshot(st *pipeline.Stats) *pipeline.Snapshot {
 		FilterRejected:     st.FilterRejected.Load(),
 		Emulations:         st.Emulations.Load(),
 		CacheHits:          st.CacheHits.Load(),
+		StructuralHits:     st.StructuralHits.Load(),
+		StaticSummaries:    st.StaticSummaries.Load(),
+		StructuralRejects:  st.StructuralRejects.Load(),
 		EmulationAborts:    st.EmulationAborts.Load(),
 		ProxiesDetected:    st.ProxiesDetected.Load(),
 		PairsAnalyzed:      st.PairsAnalyzed.Load(),
@@ -207,6 +284,7 @@ func (s *Server) Stats() StatsResponse {
 //	POST /v1/verdicts             — {"addresses": [...]} → batch verdicts
 //	POST /v1/scan                 — {"addresses": [...]} → NDJSON verdict stream
 //	GET  /v1/collisions?addr=0x…  — one proxy's collision report
+//	GET  /v1/static?addr=0x…      — one contract's static bytecode profile
 //	GET  /v1/stats                — per-shard + total summaries, store stats
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -215,6 +293,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/verdicts", s.handleVerdicts)
 	mux.HandleFunc("/v1/scan", s.handleScan)
 	mux.HandleFunc("/v1/collisions", s.handleCollisions)
+	mux.HandleFunc("/v1/static", s.handleStatic)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	return mux
 }
@@ -383,6 +462,29 @@ func (s *Server) handleCollisions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, collisionsOf(it))
+}
+
+// handleStatic serves the static analysis of one contract's bytecode. It
+// never enters the engine: the code is read through the owning shard's
+// node surface and analyzed without emulation, so it also works for
+// contracts the dynamic probe cannot resolve.
+func (s *Server) handleStatic(w http.ResponseWriter, r *http.Request) {
+	addr, err := addrParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad address: %v", err)
+		return
+	}
+	sh := s.shardFor(addr)
+	var code []byte
+	if re := chain.CaptureReadError(func() { code = sh.reader.Code(addr) }); re != nil {
+		writeError(w, http.StatusServiceUnavailable, "code read failed: %v", re)
+		return
+	}
+	if len(code) == 0 {
+		writeError(w, http.StatusNotFound, "no code at %s", addr.Hex())
+		return
+	}
+	writeJSON(w, http.StatusOK, staticReportOf(addr, static.Analyze(code)))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

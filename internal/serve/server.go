@@ -60,6 +60,9 @@ type Config struct {
 	ResultCacheSize int
 	// WithHistory enables the logic-history stage in every shard.
 	WithHistory bool
+	// DisableStructural turns off structural near-clone promotion in every
+	// shard's engine (see proxion.AnalyzeOptions.DisableStructural).
+	DisableStructural bool
 }
 
 // Counters are the server-level request statistics.
@@ -196,10 +199,11 @@ func (s *Server) runShard(sh *shard) {
 	})
 	sink := proxion.SinkFunc(func(it proxion.Item) { s.finish(sh, it) })
 	snap := sh.detector.AnalyzeStream(src, s.cfg.Sources, sink, proxion.AnalyzeOptions{
-		Window:        s.cfg.Window,
-		CacheCapacity: s.cfg.CacheCapacity,
-		WithHistory:   s.cfg.WithHistory,
-		Stats:         &sh.stats,
+		Window:            s.cfg.Window,
+		CacheCapacity:     s.cfg.CacheCapacity,
+		WithHistory:       s.cfg.WithHistory,
+		DisableStructural: s.cfg.DisableStructural,
+		Stats:             &sh.stats,
 	})
 	sh.mu.Lock()
 	sh.snap = snap

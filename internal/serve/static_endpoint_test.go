@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/etypes"
+	"repro/internal/static"
+)
+
+// TestStaticEndpointMatchesAnalyzer holds /v1/static to the static
+// analyzer's own answers for every corpus contract: the wire report must
+// carry the same fingerprint, selector table and delegate sites that a
+// direct static.Analyze of the address's code produces.
+func TestStaticEndpointMatchesAnalyzer(t *testing.T) {
+	c := testCorpus(t, 11, 32)
+	_, ts := newTestServer(t, c, Config{Shards: 2})
+
+	for _, addr := range c.Chain.Contracts() {
+		sum := static.Analyze(c.Chain.Code(addr))
+		var got StaticReport
+		getJSON(t, ts.URL+"/v1/static?addr="+addr.Hex(), &got)
+		if got.Address != addr.Hex() {
+			t.Fatalf("address = %s, want %s", got.Address, addr.Hex())
+		}
+		if got.CodeHash != sum.CodeHash.Hex() || got.Fingerprint != sum.Fingerprint.Hex() {
+			t.Fatalf("%s: hash/fingerprint mismatch: %+v", addr.Hex(), got)
+		}
+		if len(got.Selectors) != len(sum.Selectors) {
+			t.Fatalf("%s: %d selectors on the wire, analyzer found %d",
+				addr.Hex(), len(got.Selectors), len(sum.Selectors))
+		}
+		for i, sel := range sum.Selectors {
+			if got.Selectors[i] != fmt.Sprintf("0x%x", sel) {
+				t.Fatalf("%s: selector[%d] = %s, want 0x%x", addr.Hex(), i, got.Selectors[i], sel)
+			}
+		}
+		if len(got.Delegates) != len(sum.Delegates) {
+			t.Fatalf("%s: %d delegates on the wire, analyzer found %d",
+				addr.Hex(), len(got.Delegates), len(sum.Delegates))
+		}
+		for i, del := range sum.Delegates {
+			if got.Delegates[i].Provenance != del.Provenance.String() ||
+				got.Delegates[i].ForwardsCalldata != del.ForwardsCalldata {
+				t.Fatalf("%s: delegate[%d] = %+v, want %+v", addr.Hex(), i, got.Delegates[i], del)
+			}
+		}
+		if got.Blocks != sum.Blocks || got.ReachableBlocks != sum.ReachableBlocks ||
+			got.HasDelegateCall != sum.HasDelegateCall {
+			t.Fatalf("%s: CFG fields diverge: %+v vs %+v", addr.Hex(), got, sum)
+		}
+	}
+}
+
+func TestStaticEndpointRejectsBadInput(t *testing.T) {
+	c := testCorpus(t, 11, 4)
+	_, ts := newTestServer(t, c, Config{Shards: 1})
+
+	resp, err := http.Get(ts.URL + "/v1/static?addr=nonsense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad address: status %d, want 400", resp.StatusCode)
+	}
+
+	empty := etypes.MustAddress("0x00000000000000000000000000000000000000fe")
+	resp, err = http.Get(ts.URL + "/v1/static?addr=" + empty.Hex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("codeless address: status %d, want 404", resp.StatusCode)
+	}
+}
