@@ -2,7 +2,7 @@
 # push, `make fuzz` is the scheduled deep run, `make bench-gate` is the
 # pull-request performance gate.
 
-.PHONY: build vet test short race bench bench-gate bench-baseline chaos ci fuzz soak serve lint
+.PHONY: build vet test short race bench bench-gate bench-baseline chaos ci fuzz soak serve lint watch
 
 # Per-target budget for the native fuzz engines in `make fuzz`.
 FUZZTIME ?= 60s
@@ -10,6 +10,10 @@ FUZZTIME ?= 60s
 ORACLE_SWEEP ?= 500
 # Extra corpus seeds for the nightly chaos sweep (0 = pinned seeds only).
 CHAOS_SWEEP ?= 0
+# Extra timeline seeds for the nightly watch sweep (0 = pinned seeds only).
+WATCH_SWEEP ?= 0
+# Path for the watch sweep's per-cell follower stats JSON (empty = none).
+WATCH_REPORT ?=
 # Allowed relative median regression for the performance gate (0.30 = +30%).
 BENCH_THRESHOLD ?= 0.30
 # Corpus size for the streaming soak and its asserted peak-heap ceiling.
@@ -67,6 +71,15 @@ serve:
 chaos:
 	CHAOS_SWEEP=$(CHAOS_SWEEP) go test -race ./internal/faultchain -count=1 -timeout 30m
 	go test -race ./internal/gen/oracle -run 'Fault|MinimizeFaultSchedule' -count=1 -timeout 30m
+
+# Live-following gate under the race detector: the chain follower
+# replayed block-by-block over scripted upgrade timelines — parity vs
+# cold end-state analysis (clean and under chaos), the landscape-scale
+# surgical-invalidation proof, and the reorg/beacon/restart edge cases.
+# WATCH_SWEEP=N adds N fresh timeline seeds; WATCH_REPORT (a path) makes
+# the sweep write its per-cell follower stats JSON artifact.
+watch:
+	WATCH_SWEEP=$(WATCH_SWEEP) WATCH_REPORT=$(WATCH_REPORT) go test -race ./internal/watch -count=1 -timeout 30m
 
 # Bounded-memory streaming soak: one long stream-landscape run (default
 # 1M contracts, ~6 minutes) with per-item latency percentiles and peak

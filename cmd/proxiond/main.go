@@ -7,6 +7,7 @@
 //
 //	proxiond [-addr :8547] [-contracts N] [-seed S] [-shards N]
 //	         [-store DIR] [-window N] [-cache-capacity N] [-static=false]
+//	         [-follow] [-follow-interval D]
 //	         [-resilient] [-faults PROFILE] [-fault-seed S] [-fault-depth D]
 //	         [-retries N] [-rpc-timeout D] [-backoff D] [-inflight N]
 //	         [-loadtest] [-loadtest-requests N] [-loadtest-concurrency N]
@@ -14,6 +15,12 @@
 // With -loadtest the daemon self-drives: it starts the server, runs the
 // built-in load harness against it, prints the JSON report, and exits —
 // the one-command smoke/benchmark mode.
+//
+// With -follow the daemon also tails the chain: new deployments stream
+// into the analysis pipeline as their blocks land, upgrade events
+// invalidate exactly the affected verdicts, and /v1/watch/stats reports
+// follower progress. The cursor is checkpointed under the store
+// directory (when one is configured) so restarts resume cleanly.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -33,6 +41,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/serve/loadtest"
 	"repro/internal/store"
+	"repro/internal/watch"
 )
 
 func profileNames() string {
@@ -60,6 +69,8 @@ func run() error {
 	window := flag.Int("window", 0, "per-shard in-flight window (0 = engine default)")
 	cacheCap := flag.Int("cache-capacity", 0, "per-shard verdict-cache LRU bound (0 = unbounded)")
 	staticOn := flag.Bool("static", true, "structural near-clone promotion (second-level verdict-cache key)")
+	follow := flag.Bool("follow", false, "tail the chain: stream new deployments, invalidate on upgrades")
+	followInterval := flag.Duration("follow-interval", 250*time.Millisecond, "follower poll interval")
 	resilient := flag.Bool("resilient", false, "route node reads through the resilient client even with faults off")
 	faults := flag.String("faults", "off", "fault-injection profile: off, "+profileNames())
 	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed")
@@ -135,6 +146,40 @@ func run() error {
 			st.Entries, st.Segments, st.LoadMS, st.TruncatedBytes)
 	}
 
+	var follower *watch.Follower
+	if *follow {
+		fr := chain.Reader(pop.Chain)
+		if cfg.ReaderFor != nil {
+			// The follower gets its own resilient client with a fault
+			// schedule distinct from every shard's.
+			fr = cfg.ReaderFor(*shards)
+		}
+		wcfg := watch.Config{
+			Reader:       fr,
+			Analyzer:     srv,
+			PollInterval: *followInterval,
+			OnUpgrade: func(ev watch.UpgradeEvent) {
+				fmt.Fprintf(os.Stderr, "block %d: %s upgraded (slot %s), verdict re-analyzed\n",
+					ev.Block, ev.Proxy.Hex(), ev.Slot.Hex())
+			},
+			OnError: func(err error) {
+				fmt.Fprintf(os.Stderr, "proxiond: follower: %v\n", err)
+			},
+		}
+		if *storeDir != "" {
+			wcfg.CheckpointPath = filepath.Join(*storeDir, "watch.cursor")
+		}
+		f, err := watch.New(wcfg)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		follower = f
+		srv.SetWatchStats(func() any { return f.Stats() })
+		go f.Run()
+		fmt.Fprintf(os.Stderr, "following chain from block %d (poll every %s)\n", f.Cursor(), *followInterval)
+	}
+
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
@@ -147,19 +192,30 @@ func run() error {
 	if *selfLoad {
 		defer srv.Close()
 		defer httpSrv.Close()
+		if follower != nil {
+			defer follower.Stop()
+		}
 		return selfDrive(pop, *addr, *loadReqs, *loadConc, *loadOut)
 	}
 
-	// Serve until SIGINT/SIGTERM, then drain: stop accepting, finish
-	// enqueued analyses, flush and close the store.
+	// Serve until SIGINT/SIGTERM, then drain in dependency order: stop
+	// the follower first (its cursor checkpoints past the last fully
+	// applied block, so no invalidation is left half-done), then stop
+	// accepting HTTP, then finish enqueued analyses and close the store.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
+		if follower != nil {
+			follower.Stop()
+		}
 		srv.Close()
 		return err
 	case s := <-sig:
 		fmt.Fprintf(os.Stderr, "\n%s: draining...\n", s)
+	}
+	if follower != nil {
+		follower.Stop()
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -173,6 +229,11 @@ func run() error {
 		ctr := srv.Counters()
 		fmt.Fprintf(os.Stderr, "served %d requests: %d analyses, %d coalesced, %d cache hits\n",
 			ctr.Requests, ctr.Analyses, ctr.Coalesced, ctr.ResultCacheHits)
+	}
+	if follower != nil {
+		ws := follower.Stats()
+		fmt.Fprintf(os.Stderr, "follower stopped at block %d: %d deployments, %d upgrades, %d invalidations\n",
+			ws.Cursor, ws.DeploymentsSeen, ws.UpgradesDetected, ws.Invalidations)
 	}
 	st := srv.StoreStats()
 	if st.Entries > 0 {

@@ -341,7 +341,9 @@ func CheckStoreParity(c *gen.Corpus, opts proxion.AnalyzeOptions) []Mismatch {
 
 // Run executes every differential layer on one corpus: labels vs the
 // sequential reference, streaming vs sequential, cache-on vs cache-off,
-// warm-store vs cold analysis, and the static analyzer vs the labels.
+// warm-store vs cold analysis, the static analyzer vs the labels, and
+// block-by-block following vs cold end-state analysis (seeded from the
+// corpus config).
 func Run(c *gen.Corpus) []Mismatch {
 	ref := SequentialReference(c)
 	out := CheckDetector(c, ref.Reports)
@@ -350,5 +352,6 @@ func Run(c *gen.Corpus) []Mismatch {
 	out = append(out, CheckCacheParity(c, proxion.AnalyzeOptions{})...)
 	out = append(out, CheckStoreParity(c, proxion.AnalyzeOptions{})...)
 	out = append(out, CheckStaticParity(c)...)
+	out = append(out, CheckWatchParity(c)...)
 	return out
 }

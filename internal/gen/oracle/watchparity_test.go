@@ -1,0 +1,46 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestWatchParity pins the follower's differential guarantee on fixed
+// seeds, fault-free and under the below-budget Mixed chaos profile:
+// block-by-block following must detect every scripted upgrade exactly
+// once with historically accurate collision verdicts, and must end
+// byte-identical to cold end-state analysis with zero warm emulations.
+// (oracle.Run chains CheckWatchParity too, so the randomized sweep and
+// the fuzz target also cover it.)
+func TestWatchParity(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		for _, chaos := range []bool{false, true} {
+			run := WatchParity(gen.TimelineConfig{Seed: seed}, chaos)
+			if len(run.Mismatches) > 0 {
+				t.Errorf("seed %d chaos=%v: %d mismatch(es):", seed, chaos, len(run.Mismatches))
+				for _, m := range run.Mismatches {
+					t.Errorf("  %s", m)
+				}
+				continue
+			}
+			if run.Stats.UpgradesDetected == 0 || run.Stats.Invalidations == 0 {
+				t.Errorf("seed %d chaos=%v: follower detected %d upgrades with %d invalidations — timeline exercised nothing",
+					seed, chaos, run.Stats.UpgradesDetected, run.Stats.Invalidations)
+			}
+		}
+	}
+}
+
+// TestWatchParityWideTimeline stretches one replay over a larger proxy
+// population so several upgrade rounds interleave across kinds in the
+// same blocks-in-flight window.
+func TestWatchParityWideTimeline(t *testing.T) {
+	run := WatchParity(gen.TimelineConfig{Seed: 13, Proxies: 12}, false)
+	if len(run.Mismatches) > 0 {
+		t.Fatalf("%d mismatch(es), first: %s", len(run.Mismatches), run.Mismatches[0])
+	}
+	if run.Stats.Watched < 12 {
+		t.Fatalf("only %d watched cells for 12 proxies", run.Stats.Watched)
+	}
+}

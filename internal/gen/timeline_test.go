@@ -1,0 +1,86 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/proxion"
+)
+
+// The timeline generator's ground truth must match what the analyzer
+// actually reports at the end state: proxies detected with the final logic
+// resolved (including through the beacon indirection), and the final
+// step's collision flag agreeing with the pair analysis.
+func TestTimelineEndStateMatchesAnalyzer(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		tl := GenerateTimeline(TimelineConfig{Seed: seed})
+		d := proxion.NewDetector(tl.Chain)
+		for _, tp := range tl.Proxies {
+			rep := d.Check(tp.Address)
+			if !rep.IsProxy {
+				t.Fatalf("seed %d: %s proxy %s not detected: %+v", seed, tp.Kind, tp.Address.Hex(), rep)
+			}
+			final := tp.Steps[len(tp.Steps)-1]
+			if rep.Logic != final.Logic {
+				t.Fatalf("seed %d: %s proxy %s logic = %s, want %s", seed, tp.Kind,
+					tp.Address.Hex(), rep.Logic.Hex(), final.Logic.Hex())
+			}
+			if tp.Kind == TimelineBeacon {
+				if rep.Target != proxion.TargetHardcoded {
+					t.Fatalf("seed %d: beacon proxy target = %v, want hardcoded", seed, rep.Target)
+				}
+			} else if rep.Target != proxion.TargetStorage || rep.ImplSlot != tp.ImplSlot {
+				t.Fatalf("seed %d: %s proxy target = %v slot %s, want storage slot %s",
+					seed, tp.Kind, rep.Target, rep.ImplSlot.Hex(), tp.ImplSlot.Hex())
+			}
+			pa := d.AnalyzePair(tp.Address, final.Logic, tl.Registry)
+			got := len(pa.Functions) > 0 || len(pa.Storage) > 0
+			if got != final.Collides {
+				t.Fatalf("seed %d: %s proxy %s final collides = %v, ground truth %v (%+v)",
+					seed, tp.Kind, tp.Address.Hex(), got, final.Collides, pa)
+			}
+		}
+	}
+}
+
+// Every scripted history must contain a mid-timeline collision window that
+// a later upgrade closes, and every step's ground truth must agree with
+// the pair analysis of that step's pairing.
+func TestTimelineWindowsObservable(t *testing.T) {
+	tl := GenerateTimeline(TimelineConfig{Seed: 3, Proxies: 8})
+	d := proxion.NewDetector(tl.Chain)
+	for _, tp := range tl.Proxies {
+		closed := false
+		for i, s := range tp.Steps {
+			pa := d.AnalyzePair(tp.Address, s.Logic, tl.Registry)
+			got := len(pa.Functions) > 0 || len(pa.Storage) > 0
+			if got != s.Collides {
+				t.Fatalf("%s proxy %s step %d collides = %v, ground truth %v",
+					tp.Kind, tp.Address.Hex(), i, got, s.Collides)
+			}
+			if i > 0 && !s.Collides && tp.Steps[i-1].Collides {
+				closed = true
+			}
+		}
+		if !closed {
+			t.Fatalf("%s proxy %s history has no closed collision window: %+v",
+				tp.Kind, tp.Address.Hex(), tp.Steps)
+		}
+	}
+}
+
+// Timelines are deterministic in the seed.
+func TestTimelineDeterminism(t *testing.T) {
+	a := GenerateTimeline(TimelineConfig{Seed: 11})
+	b := GenerateTimeline(TimelineConfig{Seed: 11})
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+	if a.End() != b.End() {
+		t.Fatalf("end heights differ: %d vs %d", a.End(), b.End())
+	}
+}

@@ -85,6 +85,12 @@ var (
 		u256.FromBytes32(keccak.Sum256([]byte("eip1967.proxy.implementation"))).Sub(u256.One()))
 	// SlotEIP1822 = keccak256("PROXIABLE").
 	SlotEIP1822 = etypes.Keccak([]byte("PROXIABLE"))
+	// SlotEIP1967Beacon = keccak256("eip1967.proxy.beacon") - 1: where a
+	// beacon proxy keeps the beacon address. The implementation itself
+	// lives in the beacon's storage, so the proxy's own slots never change
+	// across upgrades.
+	SlotEIP1967Beacon = etypes.HashFromWord(
+		u256.FromBytes32(keccak.Sum256([]byte("eip1967.proxy.beacon"))).Sub(u256.One()))
 )
 
 // Report is the outcome of checking one contract.

@@ -118,6 +118,24 @@ func (s *structuralIndex) len() int {
 	return len(s.m)
 }
 
+// invalidate drops one family, reporting whether it existed. Exactly like
+// eviction, an in-flight leader finishes harmlessly into the orphan and
+// the next arrival of the fingerprint becomes a fresh leader that
+// re-reads live chain state.
+func (s *structuralIndex) invalidate(fp etypes.Hash) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[fp]; !ok {
+		return false
+	}
+	if el, ok := s.elems[fp]; ok {
+		s.order.Remove(el)
+		delete(s.elems, fp)
+	}
+	delete(s.m, fp)
+	return true
+}
+
 // probeSource says how a deduped check obtained its verdict.
 type probeSource uint8
 

@@ -107,14 +107,16 @@ func (c *verdictCache) install(codeHash etypes.Hash, e *codeVerdict) bool {
 // duplicate of that code re-emulates and records fresh — the remedy for a
 // verdict known to be stale (e.g. after out-of-band storage surgery on
 // the recording address) or poisoned.
-func (c *verdictCache) invalidate(codeHash etypes.Hash) {
+func (c *verdictCache) invalidate(codeHash etypes.Hash) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.elems[codeHash]; ok {
 		c.order.Remove(el)
 		delete(c.elems, codeHash)
 	}
+	_, ok := c.m[codeHash]
 	delete(c.m, codeHash)
+	return ok
 }
 
 // evictLocked drops least-recently-used entries until the cache fits its
@@ -160,8 +162,21 @@ func (c *verdictCache) evictionCount() int64 {
 func (d *Detector) CacheEvictions() int64 { return d.verdicts.evictionCount() }
 
 // InvalidateVerdict drops the cached verdict for one runtime bytecode
-// hash; subsequent duplicates re-emulate fresh.
-func (d *Detector) InvalidateVerdict(codeHash etypes.Hash) { d.verdicts.invalidate(codeHash) }
+// hash, reporting whether an entry existed; subsequent duplicates
+// re-emulate fresh.
+func (d *Detector) InvalidateVerdict(codeHash etypes.Hash) bool {
+	return d.verdicts.invalidate(codeHash)
+}
+
+// InvalidateStructural drops the structural near-clone family for one
+// static fingerprint, reporting whether a family existed. The next code
+// hash carrying the fingerprint becomes a fresh leader, so re-registration
+// reads live chain state. Used by the follower after an upgrade event:
+// promotion re-reads the candidate's own storage, but the family's
+// registered target shape was proven against pre-upgrade state.
+func (d *Detector) InvalidateStructural(fp etypes.Hash) bool {
+	return d.structural.invalidate(fp)
+}
 
 // codeVerdict is the memoized detection state of one distinct runtime
 // bytecode. The first emulation (under once) records which guard slots the

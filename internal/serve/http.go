@@ -286,6 +286,7 @@ func (s *Server) Stats() StatsResponse {
 //	GET  /v1/collisions?addr=0x…  — one proxy's collision report
 //	GET  /v1/static?addr=0x…      — one contract's static bytecode profile
 //	GET  /v1/stats                — per-shard + total summaries, store stats
+//	GET  /v1/watch/stats          — chain-follower counters (404 unless -follow)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -295,7 +296,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/collisions", s.handleCollisions)
 	mux.HandleFunc("/v1/static", s.handleStatic)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/watch/stats", s.handleWatchStats)
 	return mux
+}
+
+// handleWatchStats serves the wired follower's counter snapshot; without a
+// follower the endpoint does not exist.
+func (s *Server) handleWatchStats(w http.ResponseWriter, r *http.Request) {
+	fn := s.watchStatsFn()
+	if fn == nil {
+		writeError(w, http.StatusNotFound, "no chain follower attached")
+		return
+	}
+	writeJSON(w, http.StatusOK, fn())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

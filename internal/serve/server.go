@@ -28,6 +28,7 @@ import (
 	"repro/internal/etypes"
 	"repro/internal/pipeline"
 	"repro/internal/proxion"
+	"repro/internal/static"
 	"repro/internal/store"
 )
 
@@ -95,6 +96,10 @@ type Server struct {
 	cacheHits atomic.Int64
 	coalesced atomic.Int64
 	analyses  atomic.Int64
+
+	// watchStats holds the follower stats callback (func() any) served by
+	// /v1/watch/stats; nil until SetWatchStats.
+	watchStats atomic.Value
 
 	// closeMu orders lookups against Close: lookups hold it shared while
 	// enqueueing (never while waiting), Close holds it exclusively while
@@ -325,6 +330,77 @@ func (s *Server) join(addr etypes.Address) (c *call, leader bool, err error) {
 	return c, true, nil
 }
 
+// Analyze runs a batch of addresses through the shard pipelines and
+// returns one finalized item per address, in input order. It is Lookup in
+// a loop — every entry gets the full result-cache / single-flight /
+// persistence treatment — and together with Invalidate it makes the
+// server a drop-in analysis backend for a watch.Follower.
+func (s *Server) Analyze(addrs []etypes.Address) ([]proxion.Item, error) {
+	if len(addrs) == 0 {
+		return nil, nil
+	}
+	items := make([]proxion.Item, 0, len(addrs))
+	for _, addr := range addrs {
+		it, err := s.Lookup(addr)
+		if err != nil {
+			return items, err
+		}
+		items = append(items, it)
+	}
+	return items, nil
+}
+
+// Invalidate drops every cached verdict derived from addr's current
+// bytecode — the server result-cache entry, the owning shard's exact-hash
+// verdict, and its structural family — and returns how many tiers held
+// one. An analysis of addr already in flight is waited out first: finish
+// publishes to the result cache before clearing the flight table, so the
+// removal below also covers that publication and an upgrade racing a
+// mid-analysis lookup can never leave a pre-upgrade verdict behind. The
+// persistent store is left alone; the re-analysis that follows supersedes
+// its entry (append-only, last record wins).
+func (s *Server) Invalidate(addr etypes.Address) (int, error) {
+	s.flightMu.Lock()
+	c := s.flight[addr]
+	s.flightMu.Unlock()
+	if c != nil {
+		<-c.done
+	}
+	n := 0
+	if s.results.remove(addr) {
+		n++
+	}
+	sh := s.shardFor(addr)
+	re := chain.CaptureReadError(func() {
+		if sh.detector.InvalidateVerdict(sh.reader.CodeHash(addr)) {
+			n++
+		}
+		if code := sh.reader.Code(addr); len(code) > 0 {
+			if sh.detector.InvalidateStructural(static.Fingerprint(code)) {
+				n++
+			}
+		}
+	})
+	if re != nil {
+		return n, re
+	}
+	return n, nil
+}
+
+// SetWatchStats wires a follower's stats snapshot into the HTTP surface:
+// the /v1/watch/stats endpoint serves whatever the callback returns.
+// Keeping this an injected callback (rather than a serve → watch import)
+// leaves the layering one-directional.
+func (s *Server) SetWatchStats(fn func() any) {
+	s.watchStats.Store(fn)
+}
+
+// watchStatsFn returns the wired callback, nil when none.
+func (s *Server) watchStatsFn() func() any {
+	fn, _ := s.watchStats.Load().(func() any)
+	return fn
+}
+
 // Counters returns the server-level request statistics.
 func (s *Server) Counters() Counters {
 	return Counters{
@@ -417,6 +493,21 @@ func (rc *resultCache) add(addr etypes.Address, it proxion.Item) {
 		delete(rc.m, evict.addr)
 		rc.count--
 	}
+}
+
+// remove drops addr's cached item, reporting whether one was present —
+// the invalidation path for upgrade events.
+func (rc *resultCache) remove(addr etypes.Address) bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	n, ok := rc.m[addr]
+	if !ok {
+		return false
+	}
+	rc.unlink(n)
+	delete(rc.m, addr)
+	rc.count--
+	return true
 }
 
 func (rc *resultCache) pushFront(n *resultNode) {

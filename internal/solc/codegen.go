@@ -360,6 +360,8 @@ func (cc *compiler) emitFallback() error {
 		})
 	case FallbackDelegateDiamond:
 		cc.emitDiamondFallback(fb.Slot)
+	case FallbackDelegateBeacon:
+		cc.emitBeaconFallback(fb.Slot)
 	case FallbackLibraryCall:
 		cc.emitConstructedDelegateCall(fb.Target, fb.Proto, nil)
 		p.Op(evm.STOP)
@@ -367,6 +369,38 @@ func (cc *compiler) emitFallback() error {
 		return fmt.Errorf("unknown fallback kind %d", fb.Kind)
 	}
 	return nil
+}
+
+// emitBeaconFallback implements the EIP-1967 beacon shape: the proxy's own
+// storage holds only the beacon address; the logic address is fetched with
+// a STATICCALL to beacon.implementation() on every call and then
+// delegatecalled. Upgrades rewrite the beacon's storage — the proxy's
+// storage never changes, which is why a follower watching only the proxy's
+// slots would miss beacon upgrades entirely.
+func (cc *compiler) emitBeaconFallback(beaconSlot etypes.Hash) {
+	p := cc.prog
+	ok := cc.fresh("beacon_ok")
+	// beacon = address(sload(beaconSlot))
+	p.Push(beaconSlot.Word()).Op(evm.SLOAD).
+		Push(maskFor(20)).Op(evm.AND)
+	// mem[0..31] = implementation() selector, left-aligned.
+	sel := keccak.Selector("implementation()")
+	selWord := u256.FromBytes(sel[:]).Shl(224)
+	p.Push(selWord).PushUint(0).Op(evm.MSTORE)
+	// staticcall(gas, beacon, 0, 4, 0, 32)
+	p.PushUint(32).PushUint(0). // ret region: mem[0..32)
+					PushUint(4).PushUint(0) // args region: mem[0..4)
+	p.Op(evm.DUP1 + 4) // DUP5: beacon sits below retLen/retOff/argsLen/argsOff
+	p.Op(evm.GAS).Op(evm.STATICCALL)
+	p.JumpI(ok)
+	p.PushUint(0).PushUint(0).Op(evm.REVERT)
+	p.Label(ok)
+	p.Op(evm.POP) // drop the beacon address
+	// impl = address(mload(0)); forward the call data to it.
+	p.PushUint(0).Op(evm.MLOAD).Push(maskFor(20)).Op(evm.AND)
+	cc.emitForwardDelegateCall(func() {
+		p.Op(evm.DUP1 + 4) // DUP5: impl sits below retLen/retOff/argsLen/argsOff
+	})
 }
 
 // emitDiamondFallback implements the EIP-2535 shape: facet =
