@@ -2,7 +2,7 @@
 # push, `make fuzz` is the scheduled deep run, `make bench-gate` is the
 # pull-request performance gate.
 
-.PHONY: build vet test short race bench bench-gate bench-baseline chaos ci fuzz soak serve lint watch
+.PHONY: build vet test short race bench bench-gate bench-baseline chaos ci fuzz soak serve lint watch parity
 
 # Per-target budget for the native fuzz engines in `make fuzz`.
 FUZZTIME ?= 60s
@@ -12,6 +12,8 @@ ORACLE_SWEEP ?= 500
 CHAOS_SWEEP ?= 0
 # Extra timeline seeds for the nightly watch sweep (0 = pinned seeds only).
 WATCH_SWEEP ?= 0
+# Fresh corpus seeds for the nightly interpreter-parity widening.
+INTERP_SWEEP ?= 100
 # Path for the watch sweep's per-cell follower stats JSON (empty = none).
 WATCH_REPORT ?=
 # Allowed relative median regression for the performance gate (0.30 = +30%).
@@ -81,6 +83,17 @@ chaos:
 watch:
 	WATCH_SWEEP=$(WATCH_SWEEP) WATCH_REPORT=$(WATCH_REPORT) go test -race ./internal/watch -count=1 -timeout 30m
 
+# Interpreter lockstep gate under the race detector: the two EVM loops
+# (pre-decoded fast path vs the retained reference) executed against
+# identical state and diffed on every observable — structlog traces, call
+# trees, outputs, gas, and state-mutation order — over hand-written fused
+# idioms, boundary sweeps, and the full generator taxonomy.
+# INTERP_SWEEP=N widens the nightly run with N fresh corpus seeds.
+parity:
+	go test -race ./internal/evm/parity -count=1 -timeout 20m
+	INTERP_SWEEP=$(INTERP_SWEEP) go test -race ./internal/gen/oracle \
+		-run 'TestInterpParity' -count=1 -timeout 30m
+
 # Bounded-memory streaming soak: one long stream-landscape run (default
 # 1M contracts, ~6 minutes) with per-item latency percentiles and peak
 # heap/RSS in the report; exits non-zero if peak heap crosses the
@@ -101,4 +114,5 @@ fuzz:
 	go test ./internal/u256 -run '^$$' -fuzz FuzzU256VsBigInt -fuzztime $(FUZZTIME)
 	go test ./internal/evm -run '^$$' -fuzz FuzzExecuteArbitraryBytecode -fuzztime $(FUZZTIME)
 	go test ./internal/evm -run '^$$' -fuzz FuzzProxyProbe -fuzztime $(FUZZTIME)
+	go test ./internal/evm/parity -run '^$$' -fuzz FuzzInterpParity -fuzztime $(FUZZTIME)
 	go test ./internal/static -run '^$$' -fuzz FuzzStaticAnalyze -fuzztime $(FUZZTIME)

@@ -25,6 +25,8 @@
 //	-out FILE           report path (default BENCH_<timestamp>.json)
 //	-baseline FILE      baseline to gate against (default bench/baseline.json)
 //	-threshold X        allowed relative median regression (default 0.30)
+//	-alloc-threshold X  allowed relative allocs/op growth (default 0.50;
+//	                    negative disables the allocation gate)
 //	-strict-counters    fail the gate on deterministic-counter drift too
 //	-cpuprofile FILE    write a pprof CPU profile of the measured suite
 //	-memprofile FILE    write a pprof heap profile after the suite
@@ -59,6 +61,7 @@ func run() int {
 	baselinePath := flag.String("baseline", "bench/baseline.json", "baseline report for compare mode")
 	current := flag.String("current", "", "compare an existing run file instead of measuring")
 	threshold := flag.Float64("threshold", 0.30, "allowed relative median regression (0.30 = +30%)")
+	allocThreshold := flag.Float64("alloc-threshold", 0.50, "allowed relative allocs/op growth (negative disables the alloc gate)")
 	strictCounters := flag.Bool("strict-counters", false, "fail on deterministic-counter drift")
 	list := flag.Bool("list", false, "list the workload catalogue and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured suite")
@@ -161,6 +164,7 @@ func run() int {
 	}
 	cmp, err := bench.Compare(baseline, rep, bench.CompareOptions{
 		Threshold:      *threshold,
+		AllocThreshold: *allocThreshold,
 		StrictCounters: *strictCounters,
 	})
 	if err != nil {

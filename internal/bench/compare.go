@@ -35,6 +35,20 @@ type CompareOptions struct {
 	// analyzer behavior refreshes the baseline, and the drift warning
 	// tells the reviewer to check that it was intentional.
 	StrictCounters bool
+	// AllocThreshold is the allowed relative growth in allocations per op:
+	// 0.50 fails a workload whose allocs/op grew more than 50% over the
+	// baseline. Allocation counts are a property of the code path, not the
+	// machine, so no calibration normalization applies and the threshold
+	// can be tighter in spirit than the timing one — an alloc regression
+	// is almost always a real code change, not scheduler noise.
+	// Default 0.50. Negative disables the alloc gate.
+	AllocThreshold float64
+	// AllocFloor exempts workloads whose baseline allocs/op is below this
+	// count: near-zero-alloc workloads (the fast interpreter path) would
+	// otherwise fail on a handful of incidental allocations whose relative
+	// growth is huge but absolute cost is noise. Such workloads are still
+	// reported, never alloc-gated. Default 256.
+	AllocFloor float64
 }
 
 func (o CompareOptions) withDefaults() CompareOptions {
@@ -43,6 +57,12 @@ func (o CompareOptions) withDefaults() CompareOptions {
 	}
 	if o.NoiseFloorNs == 0 {
 		o.NoiseFloorNs = 20_000
+	}
+	if o.AllocThreshold == 0 {
+		o.AllocThreshold = 0.50
+	}
+	if o.AllocFloor == 0 {
+		o.AllocFloor = 256
 	}
 	return o
 }
@@ -68,6 +88,16 @@ type WorkloadDelta struct {
 	Regressed bool
 	// CounterDrift lists deterministic counters whose values changed.
 	CounterDrift []string
+
+	// BaselineAllocs/CurrentAllocs are raw allocs/op; AllocRatio their
+	// quotient (unnormalized — allocation counts do not depend on machine
+	// speed). AllocGated and AllocRegressed mirror Gated/Regressed for the
+	// allocation gate.
+	BaselineAllocs float64
+	CurrentAllocs  float64
+	AllocRatio     float64
+	AllocGated     bool
+	AllocRegressed bool
 }
 
 // Comparison is the full diff of a current run against a baseline.
@@ -160,6 +190,19 @@ func Compare(baseline, current *Report, opts CompareOptions) (*Comparison, error
 				base.Name, d.Ratio, 1+opts.Threshold, d.MinRatio))
 		}
 
+		d.BaselineAllocs, d.CurrentAllocs = base.AllocsPerOp, cur.AllocsPerOp
+		if base.AllocsPerOp > 0 {
+			d.AllocRatio = cur.AllocsPerOp / base.AllocsPerOp
+		}
+		d.AllocGated = opts.AllocThreshold >= 0 && base.Name != CalibrationName &&
+			base.AllocsPerOp >= opts.AllocFloor
+		if d.AllocGated && d.AllocRatio > 1+opts.AllocThreshold {
+			d.AllocRegressed = true
+			cmp.failures = append(cmp.failures, fmt.Sprintf(
+				"workload %s alloc-regressed: %.0f allocs/op vs baseline %.0f (%.2fx, threshold %.2fx)",
+				base.Name, cur.AllocsPerOp, base.AllocsPerOp, d.AllocRatio, 1+opts.AllocThreshold))
+		}
+
 		if !cmp.SeedsDiffer && base.Scale == cur.Scale {
 			d.CounterDrift = diffCounters(base.Counters, cur.Counters)
 			if len(d.CounterDrift) > 0 && opts.StrictCounters {
@@ -219,20 +262,26 @@ func (c *Comparison) Render() string {
 	} else {
 		b.WriteString("calibration: unavailable — comparing raw timings\n")
 	}
-	fmt.Fprintf(&b, "%-34s %14s %14s %8s  %s\n", "workload", "baseline", "current", "ratio", "verdict")
+	fmt.Fprintf(&b, "%-34s %14s %14s %8s %16s  %s\n",
+		"workload", "baseline", "current", "ratio", "allocs/op", "verdict")
 	for _, d := range c.Deltas {
 		verdict := "ok"
 		switch {
+		case d.Regressed && d.AllocRegressed:
+			verdict = "REGRESSED (time+allocs)"
 		case d.Regressed:
 			verdict = "REGRESSED"
-		case !d.Gated:
+		case d.AllocRegressed:
+			verdict = "ALLOC-REGRESSED"
+		case !d.Gated && !d.AllocGated:
 			verdict = "info-only"
 		}
 		if len(d.CounterDrift) > 0 {
 			verdict += " (counter drift)"
 		}
-		fmt.Fprintf(&b, "%-34s %14s %14s %7.2fx  %s\n",
-			d.Name, fmtNs(d.BaselineNs), fmtNs(d.CurrentNs), d.Ratio, verdict)
+		allocs := fmt.Sprintf("%.0f -> %.0f", d.BaselineAllocs, d.CurrentAllocs)
+		fmt.Fprintf(&b, "%-34s %14s %14s %7.2fx %16s  %s\n",
+			d.Name, fmtNs(d.BaselineNs), fmtNs(d.CurrentNs), d.Ratio, allocs, verdict)
 		for _, drift := range d.CounterDrift {
 			fmt.Fprintf(&b, "    counter %s\n", drift)
 		}

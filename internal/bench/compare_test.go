@@ -298,3 +298,93 @@ func TestCompareRender(t *testing.T) {
 		}
 	}
 }
+
+// allocReport builds a calibration + one-workload report with the given
+// allocs/op (timings held constant so only the alloc gate is in play).
+func allocReport(allocs float64) *Report {
+	r := report(1000, 1_000_000)
+	r.Workloads[1].AllocsPerOp = allocs
+	return r
+}
+
+// TestCompareAllocGate pins the allocation gate: growth past the threshold
+// fails, growth under it passes, and baselines below the floor are exempt
+// no matter how large the relative growth is (the near-zero-alloc fast
+// interpreter path must not fail on +5 incidental allocations).
+func TestCompareAllocGate(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		base, cur float64
+		wantOK    bool
+		wantGated bool
+	}{
+		{"identical", 10_000, 10_000, true, true},
+		{"within threshold (+40%)", 10_000, 14_000, true, true},
+		{"over threshold (+60%)", 10_000, 16_000, false, true},
+		{"order-of-magnitude growth", 10_000, 100_000, false, true},
+		{"improvement", 10_000, 500, true, true},
+		{"below floor: huge relative growth exempt", 8, 80, true, false},
+		{"at floor boundary", 256, 8_000, false, true},
+		{"zero baseline", 0, 50, true, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cmp, err := Compare(allocReport(tc.base), allocReport(tc.cur), CompareOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cmp.OK() != tc.wantOK {
+				t.Fatalf("OK() = %v, want %v; failures: %v", cmp.OK(), tc.wantOK, cmp.Failures())
+			}
+			d := cmp.Deltas[1]
+			if d.AllocGated != tc.wantGated {
+				t.Errorf("AllocGated = %v, want %v", d.AllocGated, tc.wantGated)
+			}
+			if !tc.wantOK {
+				msg := strings.Join(cmp.Failures(), "\n")
+				if !strings.Contains(msg, "alloc-regressed") {
+					t.Errorf("failure does not mention allocs: %v", msg)
+				}
+			}
+		})
+	}
+}
+
+// TestCompareAllocGateOptions pins the knobs: a custom threshold moves the
+// cut-off, a negative threshold disables the gate entirely, and timing
+// calibration never rescales allocation counts.
+func TestCompareAllocGateOptions(t *testing.T) {
+	base, doubled := allocReport(10_000), allocReport(20_000)
+
+	cmp, err := Compare(base, doubled, CompareOptions{AllocThreshold: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OK() {
+		t.Fatalf("2x allocs failed a 2.5x threshold: %v", cmp.Failures())
+	}
+
+	cmp, err = Compare(base, doubled, CompareOptions{AllocThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OK() || cmp.Deltas[1].AllocGated {
+		t.Fatalf("negative AllocThreshold did not disable the gate: %v", cmp.Failures())
+	}
+
+	// A 3x-slower machine (calibration scales timings) must not excuse a
+	// genuine 2x alloc growth: allocs are machine-independent.
+	slower := allocReport(20_000)
+	slower.Workloads[0].MedianNsPerOp = 3000
+	slower.Workloads[1].MedianNsPerOp = 3_000_000
+	slower.Workloads[1].MinNsPerOp = 2_850_000
+	cmp, err = Compare(base, slower, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.OK() {
+		t.Fatalf("calibration normalization rescaled the alloc gate")
+	}
+	if got := cmp.Deltas[1].AllocRatio; got != 2.0 {
+		t.Fatalf("AllocRatio = %v, want exactly 2.0 (unnormalized)", got)
+	}
+}

@@ -149,7 +149,21 @@ func Suite(p Profile) []Workload {
 			Desc:  "raw EVM interpretation of an arithmetic/MSTORE loop (ops/sec floor)",
 			Scale: d.evmLoop,
 			Batch: 4,
-			Setup: setupEVMLoop,
+			Setup: setupEVMLoop(evm.InterpFast),
+		},
+		{
+			Name:  "evm/interp-reference",
+			Desc:  "the same loop under the retained reference interpreter (fast-path ablation)",
+			Scale: d.evmLoop,
+			Batch: 4,
+			Setup: setupEVMLoop(evm.InterpReference),
+		},
+		{
+			Name:  "evm/interp-fused",
+			Desc:  "selector-dispatcher chain exercising the fused superinstructions (dispatch, dup-branch)",
+			Scale: d.evmLoop / 4,
+			Batch: 4,
+			Setup: setupEVMFused,
 		},
 	}
 }
@@ -380,22 +394,82 @@ func setupStorageSlicing(seed int64, scale int) Instance {
 // interpreter speed that isolates the EVM from detection logic. The step
 // count is derived from the loop structure, so it is deterministic by
 // construction; a tracer is deliberately not installed, keeping the timing
-// free of per-step callback overhead.
-func setupEVMLoop(seed int64, scale int) Instance {
+// free of per-step callback overhead. The interpreter mode is a parameter:
+// interp-loop measures the pre-decoded fast path, interp-reference the
+// retained byte-at-a-time loop, and their ratio is the fast path's uplift
+// as a gated quantity.
+func setupEVMLoop(mode evm.InterpMode) func(seed int64, scale int) Instance {
+	return func(seed int64, scale int) Instance {
+		p := &asm.Program{}
+		p.PushUint(uint64(scale)) //                 [n]
+		p.Label("loop")           // JUMPDEST        [n]
+		p.Op(evm.DUP1)            //                 [n, n]
+		p.PushUint(0)             //                 [n, n, 0]
+		p.Op(evm.MSTORE)          // mem[0] = n      [n]
+		p.PushUint(1)             //                 [n, 1]
+		p.Op(evm.SWAP1)           //                 [1, n]
+		p.Op(evm.SUB)             //                 [n-1]
+		p.Op(evm.DUP1)            //                 [n-1, n-1]
+		p.JumpI("loop")           // PUSH2+JUMPI     [n-1]
+		p.Op(evm.STOP)
+		code := p.MustAssemble()
+
+		// 1 PUSH prologue, then per iteration: JUMPDEST, DUP1, PUSH1, MSTORE,
+		// PUSH1, SWAP1, SUB, DUP1, PUSH2, JUMPI; the last iteration falls
+		// through to STOP.
+		steps := int64(1 + 10*scale + 1)
+		return evmCallInstance(mode, code, nil, steps, map[string]int64{
+			"evm_steps":       steps,
+			"loop_iterations": int64(scale),
+		})
+	}
+}
+
+// setupEVMFused interprets a dispatcher-shaped loop: each iteration walks a
+// chain of 16 Solidity-style selector comparisons (DUP1; PUSH4 sel; EQ;
+// PUSH2 dest; JUMPI — the fast path fuses the latter four into one
+// kindDispatch superinstruction) that all miss, then branches back through
+// a fused DUP1; PUSH2; JUMPI. This is the superinstruction-dense profile
+// real proxy fallbacks present to the detector's probes.
+func setupEVMFused(seed int64, scale int) Instance {
+	const arms = 16
 	p := &asm.Program{}
-	p.PushUint(uint64(scale)) //                 [n]
-	p.Label("loop")           // JUMPDEST        [n]
-	p.Op(evm.DUP1)            //                 [n, n]
-	p.PushUint(0)             //                 [n, n, 0]
-	p.Op(evm.MSTORE)          // mem[0] = n      [n]
-	p.PushUint(1)             //                 [n, 1]
-	p.Op(evm.SWAP1)           //                 [1, n]
-	p.Op(evm.SUB)             //                 [n-1]
-	p.Op(evm.DUP1)            //                 [n-1, n-1]
-	p.JumpI("loop")           // PUSH2+JUMPI     [n-1]
+	p.PushUint(uint64(scale))   //                  [n]
+	p.Label("loop")             // JUMPDEST         [n]
+	p.PushUint(0xdeadbeef)      //                  [n, sel]
+	for i := 0; i < arms; i++ { //                  (all compares miss)
+		p.Op(evm.DUP1)
+		p.PushBytes([]byte{0xaa, 0xbb, 0xcc, byte(i)}) // PUSH4
+		p.Op(evm.EQ)
+		p.JumpI("dead")
+	}
+	p.Op(evm.POP)   //                               [n]
+	p.PushUint(1)   //                               [n, 1]
+	p.Op(evm.SWAP1) //                               [1, n]
+	p.Op(evm.SUB)   //                               [n-1]
+	p.Op(evm.DUP1)  //                               [n-1, n-1]
+	p.JumpI("loop") // fused DUP1+PUSH2+JUMPI        [n-1]
 	p.Op(evm.STOP)
+	p.Label("dead")
+	p.Op(evm.INVALID)
 	code := p.MustAssemble()
 
+	// 1 prologue push, then per iteration: JUMPDEST, PUSH4 const, 5 source
+	// instructions per arm, POP, PUSH1, SWAP1, SUB, DUP1, PUSH2, JUMPI; the
+	// last iteration falls through to STOP.
+	steps := int64(1 + (2+5*arms+7)*scale + 1)
+	return evmCallInstance(evm.InterpFast, code, nil, steps, map[string]int64{
+		"evm_steps":       steps,
+		"dispatch_arms":   arms,
+		"loop_iterations": int64(scale),
+	})
+}
+
+// evmCallInstance builds the shared Instance shape of the raw-interpreter
+// workloads: one Call per op against a fixed contract, counters reporting
+// the structurally-derived step count (or -1 if the run errored, so a
+// broken loop surfaces as counter drift instead of a fast timing).
+func evmCallInstance(mode evm.InterpMode, code, input []byte, steps int64, counters map[string]int64) Instance {
 	st := chain.New()
 	st.AdvanceTo(1)
 	var addr etypes.Address
@@ -404,10 +478,6 @@ func setupEVMLoop(seed int64, scale int) Instance {
 	var caller etypes.Address
 	caller[19] = 0xca
 
-	// 1 PUSH prologue, then per iteration: JUMPDEST, DUP1, PUSH1, MSTORE,
-	// PUSH1, SWAP1, SUB, DUP1, PUSH2, JUMPI; the last iteration falls
-	// through to STOP.
-	steps := int64(1 + 10*scale + 1)
 	var lastErr error
 	return Instance{
 		Op: func() {
@@ -416,8 +486,9 @@ func setupEVMLoop(seed int64, scale int) Instance {
 				Tx:        evm.TxContext{Origin: caller},
 				Lenient:   true,
 				StepLimit: uint64(steps) + 16,
+				Interp:    mode,
 			})
-			res := e.Call(caller, addr, nil, 1<<30, u256.Zero())
+			res := e.Call(caller, addr, input, 1<<30, u256.Zero())
 			lastErr = res.Err
 		},
 		Counters: func() map[string]int64 {
@@ -426,10 +497,7 @@ func setupEVMLoop(seed int64, scale int) Instance {
 				// rather than silently benchmarking an early abort.
 				return map[string]int64{"evm_steps": -1}
 			}
-			return map[string]int64{
-				"evm_steps":       steps,
-				"loop_iterations": int64(scale),
-			}
+			return counters
 		},
 	}
 }

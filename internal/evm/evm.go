@@ -24,6 +24,20 @@ const (
 	memoryCap = 1 << 32
 )
 
+// InterpMode selects which interpreter loop executes frames.
+type InterpMode uint8
+
+const (
+	// InterpFast is the default: pre-decoded instruction streams cached
+	// per code hash, fused superinstructions on untraced runs, and pooled
+	// frames (see decode.go / interp_fast.go).
+	InterpFast InterpMode = iota
+	// InterpReference selects the original byte-at-a-time loop — the
+	// ablation baseline the parity harness (internal/evm/parity) holds
+	// the fast path against.
+	InterpReference
+)
+
 // Config carries the execution environment and analyzer knobs.
 type Config struct {
 	Block  BlockContext
@@ -36,6 +50,10 @@ type Config struct {
 	// Lenient disables balance checks on value transfers. The Proxion
 	// emulator runs contracts without funding synthetic senders.
 	Lenient bool
+	// Interp selects the interpreter loop (default InterpFast). The
+	// reference loop remains selectable for ablations and differential
+	// testing.
+	Interp InterpMode
 }
 
 // EVM executes bytecode against a StateDB. An EVM value is single-use per
@@ -74,7 +92,8 @@ type Frame struct {
 	memory     Memory
 	gas        uint64
 	returnData []byte
-	jumpdests  map[uint64]struct{}
+	jumpdests  map[uint64]struct{} // reference loop's lazy JUMPDEST set
+	prog       *program            // fast loop's pre-decoded program
 }
 
 // Address returns the frame's storage/self address.
@@ -183,19 +202,19 @@ func (e *EVM) call(kind CallKind, initiator, caller, self, codeAddr etypes.Addre
 		e.state.Transfer(caller, self, value)
 	}
 
-	frame := &Frame{
-		evm:         e,
-		address:     self,
-		codeAddress: codeAddr,
-		caller:      caller,
-		input:       input,
-		value:       value,
-		code:        e.state.GetCode(codeAddr),
-		static:      static,
-		gas:         gas,
-	}
+	frame := acquireFrame()
+	frame.evm = e
+	frame.address = self
+	frame.codeAddress = codeAddr
+	frame.caller = caller
+	frame.input = input
+	frame.value = value
+	frame.code = e.state.GetCode(codeAddr)
+	frame.static = static
+	frame.gas = gas
+
 	e.depth++
-	output, err := e.run(frame)
+	output, err := e.runFrame(frame, codeAddr)
 	e.depth--
 
 	if err != nil {
@@ -205,10 +224,31 @@ func (e *EVM) call(kind CallKind, initiator, caller, self, codeAddr etypes.Addre
 			frame.gas = 0
 		}
 	}
+	gasLeft := frame.gas
+	releaseFrame(frame)
 	if e.cfg.Tracer != nil {
 		e.cfg.Tracer.CaptureExit(output, err)
 	}
-	return CallResult{Output: output, GasLeft: frame.gas, Err: err}
+	return CallResult{Output: output, GasLeft: gasLeft, Err: err}
+}
+
+// runFrame dispatches a frame to the configured interpreter. The fast loop
+// executes a pre-decoded program, fetched from the per-code-hash cache for
+// deployed code (codeAddr set) and decoded fresh for init code; traced runs
+// use unfused programs so tracers observe every source instruction at its
+// original pc.
+func (e *EVM) runFrame(f *Frame, codeAddr etypes.Address) ([]byte, error) {
+	if e.cfg.Interp == InterpReference {
+		return e.runReference(f)
+	}
+	if len(f.code) > 0 {
+		var hash etypes.Hash
+		if codeAddr != (etypes.Address{}) {
+			hash = e.state.GetCodeHash(codeAddr)
+		}
+		f.prog = programFor(hash, f.code, e.cfg.Tracer == nil)
+	}
+	return e.runFast(f)
 }
 
 // CreateResult carries the outcome of contract creation.
@@ -251,18 +291,19 @@ func (e *EVM) create(kind CallKind, caller, addr etypes.Address, initCode []byte
 		e.state.Transfer(caller, addr, value)
 	}
 
-	frame := &Frame{
-		evm:         e,
-		address:     addr,
-		codeAddress: addr,
-		caller:      caller,
-		input:       nil,
-		value:       value,
-		code:        initCode,
-		gas:         gas,
-	}
+	frame := acquireFrame()
+	frame.evm = e
+	frame.address = addr
+	frame.codeAddress = addr
+	frame.caller = caller
+	frame.value = value
+	frame.code = initCode
+	frame.gas = gas
+
+	// Init code has no deployed account to hash, so runFrame's zero
+	// codeAddr decodes it fresh instead of touching the program cache.
 	e.depth++
-	output, err := e.run(frame)
+	output, err := e.runFrame(frame, etypes.Address{})
 	e.depth--
 
 	if err == nil && len(output) > maxCodeSize {
@@ -276,8 +317,10 @@ func (e *EVM) create(kind CallKind, caller, addr etypes.Address, initCode []byte
 			frame.gas = 0
 		}
 	}
+	gasLeft := frame.gas
+	releaseFrame(frame)
 	if e.cfg.Tracer != nil {
 		e.cfg.Tracer.CaptureExit(output, err)
 	}
-	return CreateResult{Address: addr, Output: output, GasLeft: frame.gas, Err: err}
+	return CreateResult{Address: addr, Output: output, GasLeft: gasLeft, Err: err}
 }

@@ -16,6 +16,29 @@ func toOffset(v u256.Int) (uint64, error) {
 	return v.Uint64(), nil
 }
 
+// toRegion converts an (offset, size) stack pair to a memory region,
+// validating the sum jointly: offset and size may each sit at memoryCap,
+// but a non-empty region must end at or below the cap too. Checking only
+// the parts individually would defer the offset+size overflow to the
+// memory-charge path; validating here keeps every region that reaches
+// chargeMemory/expand arithmetically safe. A zero-size region is valid at
+// any in-range offset (it touches no memory), matching chargeMemory's
+// size==0 fast path.
+func toRegion(offV, sizeV u256.Int) (off, size uint64, err error) {
+	off, err = toOffset(offV)
+	if err != nil {
+		return 0, 0, err
+	}
+	size, err = toOffset(sizeV)
+	if err != nil {
+		return 0, 0, err
+	}
+	if size > 0 && off+size > memoryCap {
+		return 0, 0, ErrOutOfGas
+	}
+	return off, size, nil
+}
+
 // zeroPadded returns size bytes of src starting at offset, zero-padding past
 // the end, per *COPY opcode semantics.
 func zeroPadded(src []byte, offset, size uint64) []byte {
@@ -29,8 +52,14 @@ func zeroPadded(src []byte, offset, size uint64) []byte {
 	return out
 }
 
-// run executes the frame's code to completion and returns its output.
-func (e *EVM) run(f *Frame) ([]byte, error) {
+// runReference executes the frame's code to completion and returns its
+// output, decoding one opcode at a time. It is the retained reference
+// interpreter: runFast (interp_fast.go) is the production path, and the
+// lockstep harness in internal/evm/parity executes both over identical
+// frames to prove they agree on every observable — step traces, outputs,
+// gas, errors, and state writes. Keep the two loops in sync; behavioral
+// changes must land in both or the parity suite fails.
+func (e *EVM) runReference(f *Frame) ([]byte, error) {
 	if len(f.code) == 0 {
 		return nil, nil // calls to code-less accounts succeed with no output
 	}
@@ -183,11 +212,7 @@ func (e *EVM) run(f *Frame) ([]byte, error) {
 
 		case KECCAK256:
 			offV, sizeV := f.stack.Pop(), f.stack.Pop()
-			off, err := toOffset(offV)
-			if err != nil {
-				return nil, err
-			}
-			size, err := toOffset(sizeV)
+			off, size, err := toRegion(offV, sizeV)
 			if err != nil {
 				return nil, err
 			}
@@ -392,11 +417,7 @@ func (e *EVM) run(f *Frame) ([]byte, error) {
 
 // frameOutput reads the RETURN/REVERT output region.
 func (e *EVM) frameOutput(f *Frame, offV, sizeV u256.Int) ([]byte, error) {
-	off, err := toOffset(offV)
-	if err != nil {
-		return nil, err
-	}
-	size, err := toOffset(sizeV)
+	off, size, err := toRegion(offV, sizeV)
 	if err != nil {
 		return nil, err
 	}
@@ -427,11 +448,7 @@ func shiftAmount(shift, x u256.Int, op func(u256.Int, uint) u256.Int) u256.Int {
 // zero padding.
 func (e *EVM) opCopy(f *Frame, src []byte) error {
 	dstV, srcV, sizeV := f.stack.Pop(), f.stack.Pop(), f.stack.Pop()
-	dst, err := toOffset(dstV)
-	if err != nil {
-		return err
-	}
-	size, err := toOffset(sizeV)
+	dst, size, err := toRegion(dstV, sizeV)
 	if err != nil {
 		return err
 	}
@@ -457,11 +474,7 @@ func (e *EVM) opLog(f *Frame, topicCount int) error {
 		return ErrWriteProtection
 	}
 	offV, sizeV := f.stack.Pop(), f.stack.Pop()
-	off, err := toOffset(offV)
-	if err != nil {
-		return err
-	}
-	size, err := toOffset(sizeV)
+	off, size, err := toRegion(offV, sizeV)
 	if err != nil {
 		return err
 	}
@@ -490,11 +503,7 @@ func (e *EVM) opCreate(f *Frame, op Op) error {
 	if op == CREATE2 {
 		salt = etypes.HashFromWord(f.stack.Pop())
 	}
-	off, err := toOffset(offV)
-	if err != nil {
-		return err
-	}
-	size, err := toOffset(sizeV)
+	off, size, err := toRegion(offV, sizeV)
 	if err != nil {
 		return err
 	}
@@ -541,19 +550,11 @@ func (e *EVM) opCall(f *Frame, op Op) error {
 		return ErrWriteProtection
 	}
 
-	inOff, err := toOffset(inOffV)
+	inOff, inSize, err := toRegion(inOffV, inSizeV)
 	if err != nil {
 		return err
 	}
-	inSize, err := toOffset(inSizeV)
-	if err != nil {
-		return err
-	}
-	outOff, err := toOffset(outOffV)
-	if err != nil {
-		return err
-	}
-	outSize, err := toOffset(outSizeV)
+	outOff, outSize, err := toRegion(outOffV, outSizeV)
 	if err != nil {
 		return err
 	}

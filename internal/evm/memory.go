@@ -3,10 +3,17 @@ package evm
 import "repro/internal/u256"
 
 // Memory is the transient byte-addressed memory of a call frame. It grows in
-// 32-byte words and is zero-initialized, matching EVM semantics.
+// 32-byte words and is zero-initialized, matching EVM semantics. Pooled
+// frames keep the backing array between runs; expand re-zeroes any capacity
+// it re-exposes, so reuse is invisible to the executing code.
 type Memory struct {
 	data []byte
 }
+
+// memoryRetainCap bounds how large a backing array a pooled frame keeps.
+// Frames that ballooned past it drop the buffer on release rather than
+// pinning multi-megabyte arrays in the pool.
+const memoryRetainCap = 64 * 1024
 
 // Len returns the current memory size in bytes (always a multiple of 32).
 func (m *Memory) Len() int { return len(m.data) }
@@ -21,10 +28,27 @@ func (m *Memory) expand(offset, size uint64) {
 	if end <= uint64(len(m.data)) {
 		return
 	}
-	words := (end + 31) / 32
-	grown := make([]byte, words*32)
+	newLen := (end + 31) / 32 * 32
+	if newLen <= uint64(cap(m.data)) {
+		// Reuse retained capacity from a pooled frame's previous run; the
+		// re-exposed region must read as zero.
+		old := len(m.data)
+		m.data = m.data[:newLen]
+		clear(m.data[old:])
+		return
+	}
+	grown := make([]byte, newLen)
 	copy(grown, m.data)
 	m.data = grown
+}
+
+// release resets memory for pooled reuse, retaining modest backing arrays.
+func (m *Memory) release() {
+	if cap(m.data) > memoryRetainCap {
+		m.data = nil
+		return
+	}
+	m.data = m.data[:0]
 }
 
 // SetByte writes a single byte at offset, expanding as needed.

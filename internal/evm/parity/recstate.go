@@ -1,0 +1,80 @@
+package parity
+
+import (
+	"fmt"
+
+	"repro/internal/etypes"
+	"repro/internal/evm"
+	"repro/internal/u256"
+)
+
+// recState wraps a StateDB and records every mutation as a formatted event
+// string, in call order. Two interpreter runs over identical starting
+// state must produce identical event sequences; comparing the rendered
+// strings keeps the diff readable when they don't.
+type recState struct {
+	inner  evm.StateDB
+	events []string
+}
+
+var _ evm.StateDB = (*recState)(nil)
+
+func (r *recState) record(format string, args ...any) {
+	r.events = append(r.events, fmt.Sprintf(format, args...))
+}
+
+func (r *recState) Exists(addr etypes.Address) bool    { return r.inner.Exists(addr) }
+func (r *recState) GetCode(addr etypes.Address) []byte { return r.inner.GetCode(addr) }
+func (r *recState) GetCodeHash(addr etypes.Address) etypes.Hash {
+	return r.inner.GetCodeHash(addr)
+}
+func (r *recState) GetBalance(addr etypes.Address) u256.Int { return r.inner.GetBalance(addr) }
+func (r *recState) GetState(addr etypes.Address, key etypes.Hash) etypes.Hash {
+	return r.inner.GetState(addr, key)
+}
+func (r *recState) GetNonce(addr etypes.Address) uint64 { return r.inner.GetNonce(addr) }
+
+func (r *recState) Transfer(from, to etypes.Address, value u256.Int) {
+	r.record("transfer %x->%x %s", from, to, value.Hex())
+	r.inner.Transfer(from, to, value)
+}
+
+func (r *recState) SetState(addr etypes.Address, key, value etypes.Hash) {
+	r.record("sstore %x %x=%x", addr, key, value)
+	r.inner.SetState(addr, key, value)
+}
+
+func (r *recState) SetNonce(addr etypes.Address, nonce uint64) {
+	r.record("setnonce %x %d", addr, nonce)
+	r.inner.SetNonce(addr, nonce)
+}
+
+func (r *recState) CreateAccount(addr etypes.Address) {
+	r.record("create %x", addr)
+	r.inner.CreateAccount(addr)
+}
+
+func (r *recState) SetCode(addr etypes.Address, code []byte) {
+	r.record("setcode %x len=%d", addr, len(code))
+	r.inner.SetCode(addr, code)
+}
+
+func (r *recState) SelfDestruct(addr, beneficiary etypes.Address) {
+	r.record("selfdestruct %x->%x", addr, beneficiary)
+	r.inner.SelfDestruct(addr, beneficiary)
+}
+
+func (r *recState) AddLog(addr etypes.Address, topics []etypes.Hash, data []byte) {
+	r.record("log %x topics=%d data=%x", addr, len(topics), data)
+	r.inner.AddLog(addr, topics, data)
+}
+
+func (r *recState) Snapshot() int {
+	r.record("snapshot")
+	return r.inner.Snapshot()
+}
+
+func (r *recState) RevertToSnapshot(rev int) {
+	r.record("revert")
+	r.inner.RevertToSnapshot(rev)
+}

@@ -5,52 +5,63 @@ import "repro/internal/u256"
 // stackLimit is the maximum EVM stack depth.
 const stackLimit = 1024
 
-// Stack is the EVM operand stack of 256-bit words. The zero value is an
-// empty, ready-to-use stack.
+// Stack is the EVM operand stack of 256-bit words, held in a fixed array so
+// pushes never allocate and pooled frames reuse the same backing storage.
+// The zero value is an empty, ready-to-use stack.
 type Stack struct {
-	data []u256.Int
+	data [stackLimit]u256.Int
+	n    int
 }
 
 // Len returns the number of elements on the stack.
-func (s *Stack) Len() int { return len(s.data) }
+func (s *Stack) Len() int { return s.n }
 
-// Push appends v to the top of the stack. The interpreter checks for
-// overflow before invoking operations; Push itself does not.
-func (s *Stack) Push(v u256.Int) { s.data = append(s.data, v) }
+// Push places v on top of the stack. The interpreter checks for overflow
+// before invoking operations; Push itself does not, and pushing past
+// stackLimit panics on the array bound.
+func (s *Stack) Push(v u256.Int) {
+	s.data[s.n] = v
+	s.n++
+}
 
 // Pop removes and returns the top element. The interpreter guarantees
 // sufficient depth before calling.
 func (s *Stack) Pop() u256.Int {
-	v := s.data[len(s.data)-1]
-	s.data = s.data[:len(s.data)-1]
-	return v
+	s.n--
+	return s.data[s.n]
 }
 
 // Peek returns the n-th element from the top without removing it
 // (Peek(0) is the top). It returns zero if the stack is too shallow,
 // making it safe for tracers.
 func (s *Stack) Peek(n int) u256.Int {
-	if n < 0 || n >= len(s.data) {
+	if n < 0 || n >= s.n {
 		return u256.Zero()
 	}
-	return s.data[len(s.data)-1-n]
+	return s.data[s.n-1-n]
 }
 
 // dup duplicates the n-th element from the top (1-based, per DUPn).
 func (s *Stack) dup(n int) {
-	s.data = append(s.data, s.data[len(s.data)-n])
+	s.data[s.n] = s.data[s.n-n]
+	s.n++
 }
 
 // swap exchanges the top element with the n-th below it (1-based, per SWAPn).
 func (s *Stack) swap(n int) {
-	top := len(s.data) - 1
+	top := s.n - 1
 	s.data[top], s.data[top-n] = s.data[top-n], s.data[top]
 }
 
 // Snapshot returns a copy of the stack contents, top last. Used by tracers
 // that need to record the full operand stack.
 func (s *Stack) Snapshot() []u256.Int {
-	out := make([]u256.Int, len(s.data))
-	copy(out, s.data)
+	out := make([]u256.Int, s.n)
+	copy(out, s.data[:s.n])
 	return out
 }
+
+// reset empties the stack for pooled reuse. Words above the new depth are
+// left in place: every push overwrites its slot before it becomes readable
+// again, so no stale data is observable.
+func (s *Stack) reset() { s.n = 0 }

@@ -1,0 +1,182 @@
+package evm
+
+import (
+	"testing"
+
+	"repro/internal/u256"
+)
+
+// fill pushes n distinct words (value i+1 at push index i) onto a fresh stack.
+func fill(n int) *Stack {
+	s := &Stack{}
+	for i := 0; i < n; i++ {
+		s.Push(u256.FromUint64(uint64(i + 1)))
+	}
+	return s
+}
+
+// TestStackCapacityBoundary pins the exact limit: 1024 pushes fit, and the
+// interpreter's overflow precondition (Len+1 > stackLimit) trips at exactly
+// 1024, never earlier.
+func TestStackCapacityBoundary(t *testing.T) {
+	s := &Stack{}
+	for i := 0; i < stackLimit; i++ {
+		if s.Len()+1 > stackLimit {
+			t.Fatalf("overflow precondition tripped at depth %d, want %d", s.Len(), stackLimit)
+		}
+		s.Push(u256.FromUint64(uint64(i)))
+	}
+	if s.Len() != stackLimit {
+		t.Fatalf("Len=%d after %d pushes", s.Len(), stackLimit)
+	}
+	if s.Len()+1 <= stackLimit {
+		t.Fatalf("overflow precondition did not trip at full depth")
+	}
+	// A full stack must still be readable end to end.
+	if got := s.Peek(stackLimit - 1); !got.Eq(u256.FromUint64(0)) {
+		t.Fatalf("bottom of full stack = %s, want 0", got.Hex())
+	}
+	if got := s.Pop(); !got.Eq(u256.FromUint64(stackLimit - 1)) {
+		t.Fatalf("top of full stack = %s, want %d", got.Hex(), stackLimit-1)
+	}
+}
+
+// TestStackDupBoundaries drives dup at both reach extremes (DUP1 and DUP16)
+// and at the capacity edge where the duplicate lands in the last free slot.
+func TestStackDupBoundaries(t *testing.T) {
+	cases := []struct {
+		name  string
+		depth int // starting depth
+		n     int // dup argument (1-based)
+		want  uint64
+	}{
+		{"dup1-min-depth", 1, 1, 1},
+		{"dup16-min-depth", 16, 16, 1},    // reaches the bottom element
+		{"dup16-deep", 100, 16, 100 - 15}, // 16th from top of [1..100]
+		{"dup1-into-last-slot", stackLimit - 1, 1, stackLimit - 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := fill(tc.depth)
+			s.dup(tc.n)
+			if s.Len() != tc.depth+1 {
+				t.Fatalf("Len=%d after dup, want %d", s.Len(), tc.depth+1)
+			}
+			if got := s.Peek(0); !got.Eq(u256.FromUint64(tc.want)) {
+				t.Fatalf("dup(%d) pushed %s, want %d", tc.n, got.Hex(), tc.want)
+			}
+			// The source slot must be untouched.
+			if got := s.Peek(tc.n); !got.Eq(u256.FromUint64(tc.want)) {
+				t.Fatalf("dup(%d) disturbed its source: %s", tc.n, got.Hex())
+			}
+		})
+	}
+}
+
+// TestStackSwapBoundaries drives swap at SWAP1/SWAP16 reach and at full
+// capacity (swap needs no free slot, so it must work on a full stack).
+func TestStackSwapBoundaries(t *testing.T) {
+	cases := []struct {
+		name  string
+		depth int
+		n     int
+	}{
+		{"swap1-min-depth", 2, 1},
+		{"swap16-min-depth", 17, 16},
+		{"swap16-deep", 200, 16},
+		{"swap1-full-stack", stackLimit, 1},
+		{"swap16-full-stack", stackLimit, 16},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := fill(tc.depth)
+			top := s.Peek(0)
+			below := s.Peek(tc.n)
+			s.swap(tc.n)
+			if s.Len() != tc.depth {
+				t.Fatalf("swap changed depth: %d -> %d", tc.depth, s.Len())
+			}
+			if got := s.Peek(0); !got.Eq(below) {
+				t.Fatalf("top after swap(%d) = %s, want %s", tc.n, got.Hex(), below.Hex())
+			}
+			if got := s.Peek(tc.n); !got.Eq(top) {
+				t.Fatalf("slot %d after swap = %s, want %s", tc.n, got.Hex(), top.Hex())
+			}
+			// Everything between top and the swapped slot is untouched.
+			for i := 1; i < tc.n; i++ {
+				if got := s.Peek(i); !got.Eq(u256.FromUint64(uint64(tc.depth - i))) {
+					t.Fatalf("swap(%d) disturbed slot %d: %s", tc.n, i, got.Hex())
+				}
+			}
+		})
+	}
+}
+
+// TestStackPeekBeyondDepth pins Peek's tracer-safety contract: out-of-range
+// indices (including negative) return zero rather than reading stale array
+// slots — critical with the fixed backing array, where old words survive
+// above the live depth.
+func TestStackPeekBeyondDepth(t *testing.T) {
+	s := fill(3)
+	// Leave stale non-zero data above the live region, as pooled reuse does.
+	s.Push(u256.FromUint64(0xdead))
+	s.Pop()
+
+	for _, n := range []int{3, 4, 100, stackLimit, -1} {
+		if got := s.Peek(n); !got.Eq(u256.Zero()) {
+			t.Errorf("Peek(%d) on depth-3 stack = %s, want zero", n, got.Hex())
+		}
+	}
+	if got := s.Peek(2); !got.Eq(u256.FromUint64(1)) {
+		t.Errorf("Peek(2) = %s, want 1", got.Hex())
+	}
+}
+
+// TestStackSnapshotIsolation pins that Snapshot copies: mutating the stack
+// afterwards (as pooled reuse by a later frame does) must not alter a
+// snapshot a tracer captured earlier.
+func TestStackSnapshotIsolation(t *testing.T) {
+	s := fill(4)
+	snap := s.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot length %d, want 4", len(snap))
+	}
+
+	// Simulate pooled reuse: reset and repopulate the same backing array.
+	s.reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len=%d after reset", s.Len())
+	}
+	for i := 0; i < 8; i++ {
+		s.Push(u256.FromUint64(0xffff))
+	}
+
+	for i, v := range snap {
+		if want := u256.FromUint64(uint64(i + 1)); !v.Eq(want) {
+			t.Fatalf("snapshot[%d] mutated to %s after stack reuse, want %s", i, v.Hex(), want.Hex())
+		}
+	}
+
+	// An empty stack snapshots to an empty slice.
+	s.reset()
+	if snap := s.Snapshot(); len(snap) != 0 {
+		t.Fatalf("empty stack snapshot has %d entries", len(snap))
+	}
+}
+
+// TestStackResetReuse pins the pooled-reuse contract stated on reset: stale
+// words above the new depth are never observable through the public API.
+func TestStackResetReuse(t *testing.T) {
+	s := fill(100)
+	s.reset()
+	s.Push(u256.FromUint64(7))
+	if got := s.Peek(0); !got.Eq(u256.FromUint64(7)) {
+		t.Fatalf("top after reuse = %s, want 7", got.Hex())
+	}
+	if got := s.Peek(1); !got.Eq(u256.Zero()) {
+		t.Fatalf("Peek(1) after reuse leaked stale word %s", got.Hex())
+	}
+	if snap := s.Snapshot(); len(snap) != 1 {
+		t.Fatalf("snapshot after reuse has %d entries, want 1", len(snap))
+	}
+}

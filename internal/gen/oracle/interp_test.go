@@ -1,0 +1,49 @@
+package oracle
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestInterpParityFixedSeeds runs the interpreter lockstep layer alone on
+// the pinned seeds (Run also includes it; this gives the layer its own
+// failure line and runs the full default taxonomy — diamonds and beacons
+// included — even when other layers regress).
+func TestInterpParityFixedSeeds(t *testing.T) {
+	for _, seed := range fixedSeeds {
+		c := gen.Generate(gen.Config{Seed: seed})
+		if ms := CheckInterpParity(c); len(ms) > 0 {
+			t.Errorf("%s", Format(c, ms))
+		}
+	}
+}
+
+// TestInterpParitySweep is the nightly widening: INTERP_SWEEP fresh seeds
+// (default 100), disjoint from both the fixed set and the oracle sweep's
+// range. Skipped under -short.
+func TestInterpParitySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interp sweep skipped in -short mode")
+	}
+	n := 100
+	if env := os.Getenv("INTERP_SWEEP"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil {
+			t.Fatalf("bad INTERP_SWEEP=%q: %v", env, err)
+		}
+		n = v
+	}
+	for i := 0; i < n; i++ {
+		seed := int64(2_000_000 + i)
+		c := gen.Generate(gen.Config{Seed: seed})
+		if ms := CheckInterpParity(c); len(ms) > 0 {
+			t.Errorf("%s", Format(c, ms))
+			if len(ms) > 20 {
+				t.Fatalf("aborting sweep after a badly failing seed")
+			}
+		}
+	}
+}

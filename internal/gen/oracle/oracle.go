@@ -341,9 +341,9 @@ func CheckStoreParity(c *gen.Corpus, opts proxion.AnalyzeOptions) []Mismatch {
 
 // Run executes every differential layer on one corpus: labels vs the
 // sequential reference, streaming vs sequential, cache-on vs cache-off,
-// warm-store vs cold analysis, the static analyzer vs the labels, and
-// block-by-block following vs cold end-state analysis (seeded from the
-// corpus config).
+// warm-store vs cold analysis, the static analyzer vs the labels,
+// block-by-block following vs cold end-state analysis, and the fast
+// interpreter vs the reference loop (seeded from the corpus config).
 func Run(c *gen.Corpus) []Mismatch {
 	ref := SequentialReference(c)
 	out := CheckDetector(c, ref.Reports)
@@ -353,5 +353,6 @@ func Run(c *gen.Corpus) []Mismatch {
 	out = append(out, CheckStoreParity(c, proxion.AnalyzeOptions{})...)
 	out = append(out, CheckStaticParity(c)...)
 	out = append(out, CheckWatchParity(c)...)
+	out = append(out, CheckInterpParity(c)...)
 	return out
 }
